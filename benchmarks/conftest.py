@@ -1,0 +1,83 @@
+"""Shared fixtures for the figure/table reproduction benches.
+
+Each fixture computes one measurement batch (a full 10-request protocol
+per function per platform) once per session; the per-figure benches then
+slice, print and assert the paper's shapes.  Output tables are also
+written to ``benchmarks/output/`` so a bench run leaves the regenerated
+figure data on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import reproduce
+from repro.core.harness import clear_boot_checkpoint_cache
+from repro.core.scale import SimScale
+from repro.workloads.catalog import (
+    HOTEL_FUNCTIONS,
+    ONLINESHOP_FUNCTIONS,
+    STANDALONE_FUNCTIONS,
+)
+
+#: The scaled-machine configuration for the bench runs (see DESIGN.md and
+#: repro.core.scale).  Override with REPRO_TIME_SCALE / REPRO_SPACE_SCALE.
+BENCH_SCALE = SimScale(
+    time=int(os.environ.get("REPRO_TIME_SCALE", "256")),
+    space=int(os.environ.get("REPRO_SPACE_SCALE", "16")),
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Figure ordering: standalone functions then the online shop (Fig 4.4).
+STANDALONE_SHOP_ORDER = [fn.name for fn in STANDALONE_FUNCTIONS] + [
+    fn.name for fn in ONLINESHOP_FUNCTIONS
+]
+HOTEL_ORDER = [fn.name for fn in HOTEL_FUNCTIONS]
+
+
+def write_output(name: str, text: str) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def riscv_standalone_shop():
+    return reproduce.measure_standalone_shop("riscv", BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def x86_standalone_shop():
+    return reproduce.measure_standalone_shop("x86", BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def riscv_hotel():
+    return reproduce.measure_hotel("riscv", BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def x86_hotel():
+    return reproduce.measure_hotel("x86", BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def qemu_db_comparison():
+    """Fig 4.20's data: hotel request times under QEMU/x86, per database."""
+    return reproduce.qemu_database_comparison()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_checkpoints():
+    clear_boot_checkpoint_cache()
+    yield
+
+
+def run_once(benchmark, func):
+    """Run an expensive reproduction exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Energy comparison (the ISA-wars axis) and native-scale projection."""
+
+from conftest import BENCH_SCALE, STANDALONE_SHOP_ORDER, run_once, write_output
+
+from repro.core.results import MeasurementTable, geometric_mean
+from repro.sim.energy import EnergyModel
+
+
+def test_extension_energy_per_request(benchmark, riscv_standalone_shop,
+                                      x86_standalone_shop):
+    """Energy per cold request, RISC-V vs x86 — the power/energy trade-off
+    the thesis motivates via Blem et al. (§1.1) but leaves unmeasured."""
+
+    def build():
+        model = EnergyModel()
+        table = MeasurementTable("Energy per cold request (nJ, scaled)",
+                                 ["riscv_nj", "x86_nj", "ratio"])
+        ratios = []
+        for name in STANDALONE_SHOP_ORDER:
+            riscv = model.estimate(riscv_standalone_shop[name].cold)
+            x86 = model.estimate(x86_standalone_shop[name].cold)
+            ratio = x86.total_nj / riscv.total_nj
+            ratios.append(ratio)
+            table.add_row(name, round(riscv.total_nj, 1),
+                          round(x86.total_nj, 1), round(ratio, 2))
+        return ratios, table
+
+    ratios, table = run_once(benchmark, lambda: build())
+    write_output("ext_energy.txt", table.render())
+    # Fewer instructions and fewer misses mean less energy: the RISC-V
+    # platform wins the energy comparison across the board here.
+    assert all(ratio > 1.0 for ratio in ratios)
+    assert geometric_mean(ratios) > 1.5
+
+
+def test_extension_native_projection(benchmark, riscv_standalone_shop,
+                                     riscv_hotel):
+    """Project scaled cycles back toward the paper's native magnitudes.
+
+    The scaled-machine contract is shape, not absolutes — but the
+    projection (scaled cycles x time_scale) should land within an order
+    of magnitude or two of the thesis's reported figures, which this
+    bench reports side by side.
+    """
+
+    #: Approximate native cycle readings from the thesis's figures.
+    paper_cold_cycles = {
+        "fibonacci-go": 2.0e6,          # Fig 4.4 (~2M band)
+        "fibonacci-python": 4.5e6,
+        "fibonacci-nodejs": 3.0e6,
+        "hotel-geo-go": 3.0e7,          # Fig 4.5
+        "hotel-rate-go": 1.2e8,
+        "hotel-profile-go": 3.51e8,     # the quoted 351M outlier
+    }
+
+    def build():
+        table = MeasurementTable(
+            "Projected vs paper cold cycles (time scale %d)" % BENCH_SCALE.time,
+            ["projected", "paper", "off_by"],
+        )
+        offsets = {}
+        for name, paper_value in paper_cold_cycles.items():
+            batch = riscv_hotel if name.startswith("hotel-") \
+                else riscv_standalone_shop
+            projected = BENCH_SCALE.project_cycles(batch[name].cold.cycles)
+            off_by = projected / paper_value
+            offsets[name] = off_by
+            table.add_row(name, "%.2gM" % (projected / 1e6),
+                          "%.2gM" % (paper_value / 1e6), round(off_by, 2))
+        return offsets, table
+
+    offsets, table = run_once(benchmark, lambda: build())
+    write_output("ext_projection.txt", table.render())
+    for name, off_by in offsets.items():
+        # Within ~30x of the authors' testbed absolute numbers.
+        assert 1 / 30 < off_by < 30, (name, off_by)
+    # The paper's biggest intra-figure gap survives projection: profile's
+    # cold run dwarfs fibonacci-go's by over an order of magnitude in both
+    # datasets (351M vs ~2M there; the same ordering here).
+    projected_gap = offsets["hotel-profile-go"] * paper_cold_cycles["hotel-profile-go"] \
+        / (offsets["fibonacci-go"] * paper_cold_cycles["fibonacci-go"])
+    assert projected_gap > 10

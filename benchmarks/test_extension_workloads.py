@@ -1,0 +1,171 @@
+"""Extension benches: the workloads and capabilities beyond the thesis's
+ported set (its §6 plan), measured with the same protocol.
+"""
+
+from conftest import BENCH_SCALE, run_once, write_output
+
+from repro.core.duplex import DuplexHarness
+from repro.core.harness import ExperimentHarness
+from repro.core.results import MeasurementTable
+from repro.workloads.catalog import EXTRA_FUNCTIONS, get_function
+from repro.workloads.extras import deploy_video_pipeline
+from repro.workloads.mapreduce import deploy_wordcount
+
+STANDALONE_EXTRAS = ["compression-go", "image-rotate-python",
+                     "recognition-python"]
+
+
+def test_extension_standalone_extras(benchmark):
+    """Compression / rotate / recognition through the 10-request protocol."""
+
+    def build():
+        table = MeasurementTable("Extension workloads (RISC-V, cycles)",
+                                 ["cold_cycles", "warm_cycles"])
+        measurements = {}
+        for name in STANDALONE_EXTRAS:
+            harness = ExperimentHarness(isa="riscv", scale=BENCH_SCALE)
+            measurement = harness.measure_function(get_function(name))
+            measurements[name] = measurement
+            table.add_row(name, measurement.cold.cycles, measurement.warm.cycles)
+        return measurements, table
+
+    measurements, table = run_once(benchmark, lambda: build())
+    write_output("ext_standalone.txt",
+                 table.render() + "\n\n" + table.render_chart())
+    for name, measurement in measurements.items():
+        assert measurement.cold.cycles > 2 * measurement.warm.cycles, name
+    # The interpreted functions keep the python pattern: bigger cold
+    # cliff than the compiled one.
+    assert measurements["image-rotate-python"].cold_warm_cycle_ratio > \
+        measurements["compression-go"].cold_warm_cycle_ratio
+
+
+def test_extension_chained_pipeline(benchmark):
+    """The video-analytics chain: cold fan-out amplification."""
+
+    def build():
+        harness = ExperimentHarness(isa="riscv", scale=BENCH_SCALE)
+        pipeline = harness.measure_pipeline(deploy_video_pipeline)
+        from repro.core.harness import clear_boot_checkpoint_cache
+
+        clear_boot_checkpoint_cache()
+        harness2 = ExperimentHarness(isa="riscv", scale=BENCH_SCALE)
+        single = harness2.measure_function(get_function("image-rotate-python"))
+        return pipeline, single
+
+    pipeline, single = run_once(benchmark, build)
+    lines = [
+        "Chained video-analytics pipeline (RISC-V, cycles)",
+        "pipeline cold: %8d   warm: %8d" % (pipeline.cold.cycles,
+                                            pipeline.warm.cycles),
+        "one stage cold: %7d   warm: %8d" % (single.cold.cycles,
+                                             single.warm.cycles),
+    ]
+    write_output("ext_pipeline.txt", "\n".join(lines))
+    # A cold chain pays three inits: far beyond one stage's cold start.
+    assert pipeline.cold.cycles > 1.8 * single.cold.cycles
+    assert pipeline.cold.cycles > 5 * pipeline.warm.cycles
+    cold_children = [child for child in pipeline.records[0].children
+                     if child.cold]
+    assert len(cold_children) == 2
+
+
+def test_extension_mapreduce_fanout(benchmark):
+    """Map-reduce word count: shard fan-out scales the cold request."""
+
+    def build():
+        from repro.core.harness import clear_boot_checkpoint_cache
+
+        results = {}
+        for shards in (1, 4):
+            clear_boot_checkpoint_cache()
+            harness = ExperimentHarness(isa="riscv", scale=BENCH_SCALE)
+            results[shards] = harness.measure_pipeline(
+                lambda platform, arch, s=shards: deploy_wordcount(
+                    platform, arch, shards=s))
+        return results
+
+    results = run_once(benchmark, build)
+    lines = ["Map-reduce word count (RISC-V, cycles)"]
+    for shards, measurement in results.items():
+        lines.append("shards=%d  cold=%8d  warm=%8d" % (
+            shards, measurement.cold.cycles, measurement.warm.cycles))
+    write_output("ext_mapreduce.txt", "\n".join(lines))
+    # More shards -> more mapper hops and work in the driver's request.
+    assert results[4].warm.cycles > results[1].warm.cycles
+    # The distributed answer stayed correct.
+    record = results[4].records[-1]
+    assert record.result["total_words"] > 0
+
+
+def test_extension_duplex_end_to_end(benchmark):
+    """Two-core simulation: response-time decomposition."""
+
+    def build():
+        harness = DuplexHarness(isa="riscv", scale=BENCH_SCALE)
+        return harness.measure_duplex(get_function("fibonacci-go"))
+
+    measurement = run_once(benchmark, build)
+    cold = measurement.cold_sample
+    warm = measurement.warm_sample
+    lines = [
+        "End-to-end response time (RISC-V, cycles)",
+        "cold: %7d = client %5d + network %4d + server %7d" % (
+            cold.response_time, cold.client_cycles, cold.network_cycles,
+            cold.server_cycles),
+        "warm: %7d = client %5d + network %4d + server %7d" % (
+            warm.response_time, warm.client_cycles, warm.network_cycles,
+            warm.server_cycles),
+    ]
+    write_output("ext_duplex.txt", "\n".join(lines))
+    # The server core dominates the response time — the justification for
+    # the thesis collecting stats there (Fig 4.3).
+    assert cold.server_share > 0.7
+    assert warm.response_time < cold.response_time
+
+
+def test_extension_cluster_replication_cost(benchmark):
+    """Replicated Cassandra: paying for fault tolerance on the geo path."""
+
+    def build():
+        from repro.core.harness import clear_boot_checkpoint_cache
+        from repro.db import CassandraCluster, CassandraStore
+        from repro.workloads.hotel import HotelSuite
+
+        results = {}
+        for label, store in (("single", CassandraStore()),
+                             ("cluster-rf2", CassandraCluster(nodes=3,
+                                                              replication=2))):
+            clear_boot_checkpoint_cache()
+            suite = HotelSuite(store)
+            function = suite.functions[0]  # geo
+            harness = ExperimentHarness(isa="riscv", scale=BENCH_SCALE)
+            results[label] = harness.measure_function(
+                function, services=suite.services_for(function))
+        return results
+
+    results = run_once(benchmark, build)
+    lines = ["Hotel geo: single node vs replicated cluster (RISC-V, cycles)"]
+    for label, measurement in results.items():
+        lines.append("%-12s cold=%8d warm=%8d" % (
+            label, measurement.cold.cycles, measurement.warm.cycles))
+    write_output("ext_cluster.txt", "\n".join(lines))
+    # Replication is not free: the replicated scan costs more warm work.
+    assert results["cluster-rf2"].warm.cycles > results["single"].warm.cycles
+
+
+def test_extension_extras_have_container_images(benchmark):
+    """The extension workloads package like the ported set."""
+
+    def build():
+        table = MeasurementTable("Extension container sizes (MB)",
+                                 ["x86_mb", "riscv_mb"])
+        for function in EXTRA_FUNCTIONS:
+            table.add_row(function.name,
+                          round(function.image("x86").compressed_size_mb, 2),
+                          round(function.image("riscv").compressed_size_mb, 2))
+        return table
+
+    table = run_once(benchmark, build)
+    write_output("ext_sizes.txt", table.render())
+    assert len(table.rows) == len(EXTRA_FUNCTIONS)

@@ -1,0 +1,63 @@
+"""Figs 4.10 / 4.11: all Go functions on RISC-V — cycles and L2 misses.
+
+The paper plots the Go standalone functions next to the hotel suite to
+show the Memcached-dependent subgroup's ~10x slowdown and pins it on L2
+misses ("they frequently experience the costly process of accessing the
+main memory", §4.2.1.2).
+"""
+
+import statistics
+
+from conftest import run_once, write_output
+
+from repro.core.results import MeasurementTable
+
+GO_STANDALONE = ["fibonacci-go", "aes-go", "auth-go"]
+HOTEL_TRIO = ["hotel-reservation-go", "hotel-rate-go", "hotel-profile-go"]
+HOTEL_PLAIN = ["hotel-geo-go", "hotel-recommendation-go", "hotel-user-go"]
+
+
+def _go_table(title, metric_name, metric, riscv_standalone_shop, riscv_hotel):
+    table = MeasurementTable(title, ["cold_%s" % metric_name, "warm_%s" % metric_name])
+    for name in GO_STANDALONE:
+        m = riscv_standalone_shop[name]
+        table.add_row(name, metric(m.cold), metric(m.warm))
+    for name in HOTEL_PLAIN + HOTEL_TRIO:
+        m = riscv_hotel[name]
+        table.add_row(name, metric(m.cold), metric(m.warm))
+    return table
+
+
+def test_fig4_10_go_cycles(benchmark, riscv_standalone_shop, riscv_hotel):
+    """Fig 4.10: cycles for the Go functions (RISC-V)."""
+    table = run_once(benchmark, lambda: _go_table(
+        "Fig 4.10: cycles, Go functions (RISC-V)", "cycles",
+        lambda stats: stats.cycles, riscv_standalone_shop, riscv_hotel))
+    write_output("fig4_10.txt", table.render() + "\n\n" + table.render_chart())
+
+    standalone_cold = statistics.mean(
+        riscv_standalone_shop[name].cold.cycles for name in GO_STANDALONE
+    )
+    trio_cold = statistics.mean(riscv_hotel[name].cold.cycles for name in HOTEL_TRIO)
+    # The Memcached subgroup exhibits roughly a 10x slowdown relative to
+    # the other Go benchmarks.
+    assert trio_cold > 5 * standalone_cold
+
+
+def test_fig4_11_go_l2_misses(benchmark, riscv_standalone_shop, riscv_hotel):
+    """Fig 4.11: L2 misses for the Go functions (RISC-V)."""
+    table = run_once(benchmark, lambda: _go_table(
+        "Fig 4.11: L2 misses, Go functions (RISC-V)", "l2",
+        lambda stats: stats.l2_misses, riscv_standalone_shop, riscv_hotel))
+    write_output("fig4_11.txt", table.render() + "\n\n" + table.render_chart())
+
+    standalone_l2 = statistics.mean(
+        riscv_standalone_shop[name].cold.l2_misses for name in GO_STANDALONE
+    )
+    trio_l2 = statistics.mean(riscv_hotel[name].cold.l2_misses for name in HOTEL_TRIO)
+    # "Those functions get plenty of L2 misses" — the slowdown's cause.
+    assert trio_l2 > 3 * standalone_l2
+    # L2 misses collapse warm (the paper's warm bars are tiny).
+    for name in HOTEL_TRIO:
+        assert riscv_hotel[name].warm.l2_misses < \
+            riscv_hotel[name].cold.l2_misses / 10

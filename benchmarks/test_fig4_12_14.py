@@ -1,0 +1,93 @@
+"""Figs 4.12-4.14: the x86 simulated system."""
+
+import statistics
+
+from conftest import HOTEL_ORDER, STANDALONE_SHOP_ORDER, run_once, write_output
+
+from repro.core.results import MeasurementTable, cold_warm_table
+
+PYTHON_FUNCTIONS = [
+    "fibonacci-python", "aes-python", "auth-python",
+    "recommendationservice-python", "emailservice-python",
+]
+
+
+def test_fig4_12_x86_standalone_shop_cycles(benchmark, x86_standalone_shop):
+    """Fig 4.12: standalone + online shop cycles (x86)."""
+
+    def build():
+        return cold_warm_table(
+            "Fig 4.12: cycles, standalone + online shop (x86)",
+            x86_standalone_shop,
+            metric=lambda stats: stats.cycles,
+            order=STANDALONE_SHOP_ORDER,
+            metric_name="cycles",
+        )
+
+    table = run_once(benchmark, build)
+    write_output("fig4_12.txt", table.render() + "\n\n" + table.render_chart())
+
+    # "the Python benchmarks perform poorly in cold executions ... near 10
+    # times slower compared to warm executions."
+    ratios = {}
+    for name in PYTHON_FUNCTIONS:
+        m = x86_standalone_shop[name]
+        ratios[name] = m.cold.cycles / m.warm.cycles
+        if name != "emailservice-python":
+            assert ratios[name] > 8, (name, ratios[name])
+    # "we see an exception to this phenomenon ... the emailservice benchmark"
+    others = [ratio for name, ratio in ratios.items()
+              if name != "emailservice-python"]
+    assert ratios["emailservice-python"] < 0.6 * statistics.mean(others)
+
+
+def test_fig4_13_x86_python_l2(benchmark, x86_standalone_shop):
+    """Fig 4.13: L2 misses for the Python functions (x86).
+
+    Emailservice's better cold performance "is thanks to its lower number
+    of L2 cache misses".
+    """
+
+    def build():
+        table = MeasurementTable("Fig 4.13: L2 misses, Python functions (x86)",
+                                 ["cold_l2", "warm_l2"])
+        for name in PYTHON_FUNCTIONS:
+            m = x86_standalone_shop[name]
+            table.add_row(name, m.cold.l2_misses, m.warm.l2_misses)
+        return table
+
+    table = run_once(benchmark, build)
+    write_output("fig4_13.txt", table.render() + "\n\n" + table.render_chart())
+
+    cold_l2 = {name: x86_standalone_shop[name].cold.l2_misses
+               for name in PYTHON_FUNCTIONS}
+    email = cold_l2.pop("emailservice-python")
+    assert email < 0.5 * min(cold_l2.values())
+
+
+def test_fig4_14_x86_hotel_cycles(benchmark, x86_hotel):
+    """Fig 4.14: hotel application cycles (x86).
+
+    "For the Hotel collection we see similar results to its RISC-V
+    counterpart" — same orderings, without RISC-V profile's extreme.
+    """
+
+    def build():
+        return cold_warm_table(
+            "Fig 4.14: cycles, hotel application (x86)",
+            x86_hotel,
+            metric=lambda stats: stats.cycles,
+            order=HOTEL_ORDER,
+            metric_name="cycles",
+        )
+
+    table = run_once(benchmark, build)
+    write_output("fig4_14.txt", table.render() + "\n\n" + table.render_chart())
+
+    cold = {name: x86_hotel[name].cold.cycles for name in HOTEL_ORDER}
+    warm = {name: x86_hotel[name].warm.cycles for name in HOTEL_ORDER}
+    trio = ("hotel-reservation-go", "hotel-rate-go", "hotel-profile-go")
+    plain = ("hotel-geo-go", "hotel-recommendation-go", "hotel-user-go")
+    assert statistics.mean(cold[name] for name in trio) > \
+        statistics.mean(cold[name] for name in plain)
+    assert all(cold[name] > 4 * warm[name] for name in HOTEL_ORDER)

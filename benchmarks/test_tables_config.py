@@ -1,0 +1,64 @@
+"""Tables 4.1-4.3: simulated platform configurations."""
+
+from conftest import run_once, write_output
+
+from repro.core.config import (
+    RISCV_PLATFORM,
+    X86_PLATFORM,
+    common_config_rows,
+)
+
+
+def test_table_4_1_common_parameters(benchmark):
+    """Table 4.1: the shared microarchitectural configuration."""
+
+    def build():
+        return "Table 4.1: common configuration\n" + "\n".join(common_config_rows())
+
+    text = run_once(benchmark, build)
+    write_output("table4_1.txt", text)
+    rows = dict(
+        line.split(": ", 1) for line in text.splitlines()[1:]
+    )
+    assert rows["L1 I Cache"] == "2 Cores x 32KB, 8-way set associative"
+    assert rows["L1 D Cache"] == "2 Cores x 32KB, 8-way set associative"
+    assert rows["L2 Cache"] == "2 Cores x 512KB, 4-way set associative"
+    assert rows["ROB"] == "192 entries"
+    assert rows["LSQs"] == "32 Load entries + 32 Store entries"
+    assert rows["Registers"] == "256 Int + 256 Float"
+    assert rows["Number Of Cores"] == "2"
+    assert rows["Clock Frequency"] == "1GHz"
+    assert rows["Linux Kernel"] == "5.15.59"
+    assert rows["Docker Version"] == "25.0.0"
+
+
+def test_table_4_2_riscv_specifics(benchmark):
+    """Table 4.2: RISC-V platform specifics."""
+
+    def build():
+        rows = RISCV_PLATFORM.specific_parameters()
+        return "Table 4.2: RISC-V specifics\n" + "\n".join(
+            "%s: %s" % item for item in rows.items()
+        )
+
+    text = run_once(benchmark, build)
+    write_output("table4_2.txt", text)
+    specifics = RISCV_PLATFORM.specific_parameters()
+    assert "Jammy" in specifics["Os"]
+    assert "riscv64" in specifics["kernel compiled with gcc"]
+
+
+def test_table_4_3_x86_specifics(benchmark):
+    """Table 4.3: x86 platform specifics."""
+
+    def build():
+        rows = X86_PLATFORM.specific_parameters()
+        return "Table 4.3: x86 specifics\n" + "\n".join(
+            "%s: %s" % item for item in rows.items()
+        )
+
+    text = run_once(benchmark, build)
+    write_output("table4_3.txt", text)
+    specifics = X86_PLATFORM.specific_parameters()
+    assert "Jammy" in specifics["Os"]
+    assert specifics["kernel compiled with gcc"].startswith("gcc")

@@ -1,0 +1,96 @@
+"""Tables 3.1-3.4: the benchmark-suite survey and the vSwarm catalog."""
+
+from conftest import run_once, write_output
+
+from repro.workloads.catalog import (
+    BENCHMARK_SUITE_SURVEY,
+    HOTEL_FUNCTIONS,
+    ONLINESHOP_FUNCTIONS,
+    STANDALONE_FUNCTIONS,
+)
+
+
+def test_table_3_1_suite_survey(benchmark):
+    """Table 3.1: available serverless benchmark suites."""
+
+    def build():
+        lines = ["Table 3.1: Serverless benchmark suites",
+                 "%-16s %-36s %-16s %-10s %s" % ("Suite", "Languages", "Infra", "ISAs", "gem5")]
+        for row in BENCHMARK_SUITE_SURVEY:
+            lines.append("%-16s %-36s %-16s %-10s %s" % (
+                row["suite"], ", ".join(row["languages"]), row["infrastructure"],
+                "/".join(row["isas"]), "Yes" if row["gem5"] else "No",
+            ))
+        return "\n".join(lines)
+
+    text = run_once(benchmark, build)
+    write_output("table3_1.txt", text)
+    # vSwarm is the only suite with gem5 support and multi-ISA coverage —
+    # the selection rationale of §3.1.
+    vswarm = [row for row in BENCHMARK_SUITE_SURVEY if row["suite"] == "vSwarm"][0]
+    assert vswarm["gem5"]
+    assert len(vswarm["isas"]) > 1
+    assert sum(1 for row in BENCHMARK_SUITE_SURVEY if row["gem5"]) == 1
+
+
+def test_table_3_2_standalone_matrix(benchmark):
+    """Table 3.2: standalone functions x runtimes."""
+
+    def build():
+        by_base = {}
+        for function in STANDALONE_FUNCTIONS:
+            by_base.setdefault(function.base_name, set()).add(function.runtime_name)
+        lines = ["Table 3.2: standalone functions",
+                 "%-12s %-4s %-7s %s" % ("Function", "Go", "Python", "NodeJs")]
+        for base, runtimes in sorted(by_base.items()):
+            lines.append("%-12s %-4s %-7s %s" % (
+                base.capitalize(),
+                "Yes" if "go" in runtimes else "No",
+                "Yes" if "python" in runtimes else "No",
+                "Yes" if "nodejs" in runtimes else "No",
+            ))
+        return by_base, "\n".join(lines)
+
+    by_base, text = run_once(benchmark, lambda: build())
+    write_output("table3_2.txt", text)
+    assert set(by_base) == {"fibonacci", "aes", "auth"}
+    for runtimes in by_base.values():
+        assert runtimes == {"go", "python", "nodejs"}
+
+
+def test_table_3_3_onlineshop(benchmark):
+    """Table 3.3: the Online Shop functions and runtimes."""
+
+    def build():
+        lines = ["Table 3.3: Online Shop functions",
+                 "%-32s %s" % ("Function", "Runtime")]
+        for function in ONLINESHOP_FUNCTIONS:
+            lines.append("%-32s %s" % (function.name, function.runtime_name))
+        return "\n".join(lines)
+
+    text = run_once(benchmark, build)
+    write_output("table3_3.txt", text)
+    runtimes = [fn.runtime_name for fn in ONLINESHOP_FUNCTIONS]
+    assert runtimes.count("go") == 2
+    assert runtimes.count("python") == 2
+    assert runtimes.count("nodejs") == 2
+
+
+def test_table_3_4_hotel(benchmark):
+    """Table 3.4: hotel functions, runtimes and service dependencies."""
+
+    def build():
+        lines = ["Table 3.4: Hotel functions",
+                 "%-16s %-8s %-9s %s" % ("Function", "Runtime", "Database", "Memcached")]
+        for function in HOTEL_FUNCTIONS:
+            lines.append("%-16s %-8s %-9s %s" % (
+                function.short_name, function.runtime_name, "Yes",
+                "Yes" if function.uses_memcached else "No",
+            ))
+        return "\n".join(lines)
+
+    text = run_once(benchmark, build)
+    write_output("table3_4.txt", text)
+    assert all(fn.runtime_name == "go" for fn in HOTEL_FUNCTIONS)
+    cached = {fn.short_name for fn in HOTEL_FUNCTIONS if fn.uses_memcached}
+    assert cached == {"reservation", "rate", "profile"}

@@ -1,0 +1,94 @@
+"""The Hotel application end to end: functional run plus database study.
+
+Part 1 uses the FaaS platform to actually *use* the hotel backend — find
+nearby hotels, check a user in, read profiles, make a booking — against
+the Cassandra-backed port, showing the serverless lifecycle (cold starts,
+Memcached population, warm hits) as it happens.
+
+Part 2 reruns the request timing under the QEMU-analog x86 VM with both
+MongoDB and Cassandra, the methodology behind Fig 4.20 (the comparison
+gem5 could not host because MongoDB would not boot there, §3.5.2.3).
+
+    python examples/hotel_booking.py
+"""
+
+from repro.db import CassandraStore, MongoStore
+from repro.emu import make_dev_vm
+from repro.serverless.engine import install_docker
+from repro.serverless.faas import FaasPlatform
+from repro.workloads.hotel import HotelSuite
+
+
+def part1_functional() -> None:
+    print("=" * 64)
+    print("Part 1: the hotel backend, running for real (Cassandra port)")
+    print("=" * 64)
+    suite = HotelSuite(CassandraStore())
+    engine = install_docker("riscv")
+    platform = FaasPlatform(engine)
+    for function in suite.functions:
+        engine.registry.push(function.image("riscv"))
+        platform.deploy(function.name, function.name, function.runtime_name,
+                        function.handler, services=suite.services_for(function))
+
+    geo = platform.invoke("hotel-geo-go", {"lat": 37.97, "lon": 23.72,
+                                           "radius_km": 30.0})
+    print("nearby hotels (%s): %s..." % (
+        "cold" if geo.cold else "warm", geo.result["hotel_ids"][:5]))
+
+    login = platform.invoke("hotel-user-go",
+                            {"username": "user0001", "password": "pass0001"})
+    print("login user0001:", login.result)
+
+    profile = platform.invoke("hotel-profile-go",
+                              {"hotel_ids": geo.result["hotel_ids"][:2]})
+    names = [p["name"] for p in profile.result["profiles"]]
+    print("profiles fetched (%s): %s" % (
+        "cold" if profile.cold else "warm", names))
+    print("  db work:", profile.receipts["db"])
+
+    profile2 = platform.invoke("hotel-profile-go",
+                               {"hotel_ids": geo.result["hotel_ids"][:2]})
+    print("profiles again (%s): served from Memcached, db receipt: %s" % (
+        "cold" if profile2.cold else "warm",
+        profile2.receipts.get("db", "none")))
+
+    booking = platform.invoke("hotel-reservation-go", {
+        "hotel_id": geo.result["hotel_ids"][0], "customer": "user0001",
+        "in_date": "2015-04-02", "out_date": "2015-04-05",
+    })
+    print("booking:", booking.result)
+    print("memcached: %d items, hit rate %.0f%%" % (
+        len(suite.memcached), suite.memcached.hit_rate * 100))
+
+
+def part2_database_comparison() -> None:
+    print()
+    print("=" * 64)
+    print("Part 2: MongoDB vs Cassandra under QEMU x86 (Fig 4.20 method)")
+    print("=" * 64)
+    print("%-16s %14s %14s %14s %14s" % ("function", "cass_cold", "cass_warm",
+                                         "mongo_cold", "mongo_warm"))
+    rows = {}
+    for store_cls in (CassandraStore, MongoStore):
+        suite = HotelSuite(store_cls())
+        vm = make_dev_vm("x86")
+        vm.boot()
+        boot_seconds = vm.boot_database_container(suite.db)
+        print("-- %s container boot: %.1f s" % (suite.db.name, boot_seconds))
+        for function in suite.functions:
+            services = suite.services_for(function)
+            cold = vm.time_request(function, services=services, cold=True)
+            for sequence in range(2, 10):
+                vm.time_request(function, services=services, sequence=sequence)
+            warm = vm.time_request(function, services=services, sequence=10)
+            rows.setdefault(function.short_name, {})[suite.db.name] = (cold, warm)
+    for short, by_db in rows.items():
+        print("%-16s %14.0f %14.0f %14.0f %14.0f" % (
+            short, *by_db["cassandra"], *by_db["mongodb"]))
+    print("\n(ns; MongoDB wins cold, warm is a wash — Fig 4.20's shape)")
+
+
+if __name__ == "__main__":
+    part1_functional()
+    part2_database_comparison()

@@ -1,0 +1,63 @@
+"""RISC-V vs x86: the thesis's headline comparison, on your laptop.
+
+Measures the standalone functions on both simulated platforms — identical
+microarchitecture (Table 4.1), different ISA and software stack — and
+prints the cycle/instruction comparison of Figs 4.15/4.16.
+
+    python examples/isa_comparison.py [time_scale]
+"""
+
+import sys
+
+from repro.core import ExperimentHarness, SimScale
+from repro.core.results import geometric_mean, isa_comparison_table
+from repro.workloads.catalog import STANDALONE_FUNCTIONS
+
+
+def main() -> None:
+    time_scale = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    scale = SimScale(time=time_scale, space=16)
+
+    measurements = {"riscv": {}, "x86": {}}
+    for isa in ("riscv", "x86"):
+        for function in STANDALONE_FUNCTIONS:
+            harness = ExperimentHarness(isa=isa, scale=scale)
+            measurements[isa][function.name] = harness.measure_function(function)
+            print("measured %s on %s" % (function.name, isa))
+
+    order = [fn.name for fn in STANDALONE_FUNCTIONS]
+    print()
+    print(isa_comparison_table(
+        "Cycles (cold/warm), x86 vs RISC-V",
+        measurements["riscv"], measurements["x86"],
+        metric=lambda stats: stats.cycles, order=order, metric_name="cyc",
+    ).render())
+    print()
+    print(isa_comparison_table(
+        "Instructions (cold/warm), x86 vs RISC-V",
+        measurements["riscv"], measurements["x86"],
+        metric=lambda stats: stats.instructions, order=order, metric_name="in",
+    ).render())
+
+    speedups_cold = [
+        measurements["x86"][name].cold.cycles / measurements["riscv"][name].cold.cycles
+        for name in order
+    ]
+    speedups_warm = [
+        measurements["x86"][name].warm.cycles / measurements["riscv"][name].warm.cycles
+        for name in order
+    ]
+    print()
+    print("geo-mean RISC-V speedup: %.2fx cold, %.2fx warm" % (
+        geometric_mean(speedups_cold), geometric_mean(speedups_warm)))
+    crossovers = [
+        name for name in order
+        if measurements["riscv"][name].cold.cycles
+        < measurements["x86"][name].warm.cycles
+    ]
+    if crossovers:
+        print("RISC-V cold beats x86 warm for: %s" % ", ".join(crossovers))
+
+
+if __name__ == "__main__":
+    main()

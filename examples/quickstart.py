@@ -1,0 +1,45 @@
+"""Quickstart: measure one serverless function on a simulated RISC-V CPU.
+
+Runs the thesis's 10-request protocol (Fig 4.1) for fibonacci-go on the
+simulated RISC-V platform: boot with the Atomic core, checkpoint, restore
+with the detailed O3 core, measure the cold (1st) and warm (10th)
+requests.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import ExperimentHarness, SimScale
+from repro.workloads import get_function
+
+
+def main() -> None:
+    # A smaller scaled machine than the bench default keeps this instant;
+    # see repro/core/scale.py for the scaled-machine methodology.
+    scale = SimScale(time=512, space=16)
+    function = get_function("fibonacci-go")
+
+    harness = ExperimentHarness(isa="riscv", scale=scale)
+    measurement = harness.measure_function(function)
+
+    print("function: %s (runtime: %s)" % (function.name, function.runtime_name))
+    print("platform: simulated RISC-V, %s" % harness.config.os_name)
+    print()
+    for label, stats in (("cold (request 1)", measurement.cold),
+                         ("warm (request 10)", measurement.warm)):
+        print("%-18s %9d cycles  %8d insts  CPI %.2f" % (
+            label, stats.cycles, stats.instructions, stats.cpi))
+        print("%-18s L1I misses %5d   L1D misses %5d   L2 misses %5d" % (
+            "", stats.l1i_misses, stats.l1d_misses, stats.l2_misses))
+    print()
+    ratio = measurement.cold_warm_cycle_ratio
+    print("cold start cost: %.1fx the warm execution" % ratio)
+    print("(native-scale projection: ~%.1fM vs ~%.1fM cycles)" % (
+        scale.project_cycles(measurement.cold.cycles) / 1e6,
+        scale.project_cycles(measurement.warm.cycles) / 1e6,
+    ))
+    # The real handler ran for real: show its answer.
+    print("handler result:", measurement.records[0].result)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Result analysis and rendering utilities."""
+
+from repro.analysis.charts import grouped_hbar_chart, sparkline
+
+__all__ = ["grouped_hbar_chart", "sparkline"]

@@ -1,0 +1,97 @@
+"""ASCII chart rendering: the paper's bar figures, in a terminal.
+
+Benches print these next to the numeric tables so a reproduction run
+shows the figure's *shape* at a glance — who wins, by roughly what
+factor — without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * full
+    partial_index = int(remainder * (len(_BLOCKS) - 1))
+    if partial_index > 0:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def grouped_hbar_chart(
+    title: str,
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal grouped bars: one group per label, one bar per series.
+
+    The layout mirrors the thesis's figures (Fig 4.4 et al.): benchmarks
+    down the side, one bar per measurement mode, on a shared linear scale.
+    """
+    if not labels:
+        raise ValueError("chart needs at least one label")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                "series %r has %d values for %d labels"
+                % (name, len(values), len(labels))
+            )
+    maximum = max((value for values in series.values() for value in values),
+                  default=0.0)
+    label_width = max(len(label) for label in labels)
+    series_width = max(len(name) for name in series)
+
+    lines = [title, "=" * len(title)]
+    for index, label in enumerate(labels):
+        for series_index, (name, values) in enumerate(series.items()):
+            value = values[index]
+            prefix = label.ljust(label_width) if series_index == 0 else \
+                " " * label_width
+            lines.append("%s  %s %s %s" % (
+                prefix,
+                name.rjust(series_width),
+                _bar(value, maximum, width).ljust(width),
+                _format_value(value, unit),
+            ))
+        lines.append("")
+    lines.append("scale: 0 .. %s" % _format_value(maximum, unit))
+    return "\n".join(lines)
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """A one-line trend (eight levels), for quick sweep summaries."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    marks = "▁▂▃▄▅▆▇█"
+    if span == 0:
+        return marks[0] * len(values)
+    return "".join(
+        marks[int((value - low) / span * (len(marks) - 1))] for value in values
+    )
+
+
+def _format_value(value: float, unit: str) -> str:
+    if value >= 1e9:
+        text = "%.2fG" % (value / 1e9)
+    elif value >= 1e6:
+        text = "%.2fM" % (value / 1e6)
+    elif value >= 1e3:
+        text = "%.1fk" % (value / 1e3)
+    elif isinstance(value, float) and not value.is_integer():
+        text = "%.2f" % value
+    else:
+        text = "%d" % value
+    return text + unit

@@ -1,0 +1,391 @@
+"""Command-line interface: drive experiments without writing code.
+
+::
+
+    python -m repro list
+    python -m repro measure fibonacci-go --isa riscv
+    python -m repro compare aes-python --isas riscv,x86
+    python -m repro suite hotel --isa riscv --db cassandra
+    python -m repro sizes --arch riscv
+    python -m repro dse fibonacci-python --axis l2_size=131072,524288
+    python -m repro dbcompare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.core.dse import DesignSpace
+from repro.core.harness import ExperimentHarness
+from repro.core.results import cold_warm_table, isa_comparison_table
+from repro.core.scale import SimScale
+from repro.workloads.catalog import (
+    HOTEL_FUNCTIONS,
+    ONLINESHOP_FUNCTIONS,
+    STANDALONE_FUNCTIONS,
+    all_functions,
+    get_function,
+)
+
+SUITES = {
+    "standalone": STANDALONE_FUNCTIONS,
+    "onlineshop": ONLINESHOP_FUNCTIONS,
+    "hotel": HOTEL_FUNCTIONS,
+}
+
+
+def _scale_from(args) -> SimScale:
+    return SimScale(time=args.time_scale, space=args.space_scale)
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--time-scale", type=int, default=512,
+                        help="dynamic-work divisor (default 512)")
+    parser.add_argument("--space-scale", type=int, default=16,
+                        help="capacity divisor (default 16)")
+
+
+def _hotel_services(db_name: str):
+    from repro.db import make_datastore
+    from repro.workloads.hotel import HotelSuite
+
+    suite = HotelSuite(make_datastore(db_name))
+    return suite
+
+
+def _services_for(function, hotel_suite) -> Dict[str, Any]:
+    if function.suite == "hotel":
+        if hotel_suite is None:
+            raise SystemExit(
+                "%s needs a database; pass --db (cassandra/mongodb/...)"
+                % function.name
+            )
+        return hotel_suite.services_for(function)
+    return {}
+
+
+def _format_stats(label: str, stats) -> str:
+    return (
+        "%-18s %10d cycles  %9d insts  CPI %.2f  "
+        "L1I %5d  L1D %5d  L2 %5d" % (
+            label, stats.cycles, stats.instructions, stats.cpi,
+            stats.l1i_misses, stats.l1d_misses, stats.l2_misses,
+        )
+    )
+
+
+def cmd_list(args) -> int:
+    """Print the benchmark catalog."""
+    print("%-30s %-8s %-12s" % ("function", "runtime", "suite"))
+    for function in all_functions():
+        print("%-30s %-8s %-12s" % (function.name, function.runtime_name,
+                                    function.suite))
+    return 0
+
+
+def cmd_measure(args) -> int:
+    """Run the 10-request protocol for one function."""
+    function = get_function(args.function)
+    hotel_suite = _hotel_services(args.db) if function.suite == "hotel" else None
+    harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
+                                seed=args.seed)
+    measurement = harness.measure_function(
+        function, services=_services_for(function, hotel_suite))
+    print("%s on simulated %s (%r)" % (function.name, args.isa, harness.config.os_name))
+    print(_format_stats("cold (request 1)", measurement.cold))
+    print(_format_stats("warm (request 10)", measurement.warm))
+    print("cold/warm cycle ratio: %.1fx" % measurement.cold_warm_cycle_ratio)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare one function across ISAs."""
+    function = get_function(args.function)
+    isas = args.isas.split(",")
+    measurements: Dict[str, Dict] = {}
+    for isa in isas:
+        hotel_suite = _hotel_services(args.db) if function.suite == "hotel" else None
+        harness = ExperimentHarness(isa=isa, scale=_scale_from(args), seed=args.seed)
+        measurements[isa] = {function.name: harness.measure_function(
+            function, services=_services_for(function, hotel_suite))}
+    if len(isas) == 2:
+        table = isa_comparison_table(
+            "%s: %s vs %s (cycles)" % (function.name, *isas),
+            measurements[isas[0]], measurements[isas[1]],
+            metric=lambda stats: stats.cycles, metric_name="cyc",
+        )
+        print(table.render())
+    else:
+        for isa in isas:
+            m = measurements[isa][function.name]
+            print("%-8s cold=%d warm=%d" % (isa, m.cold.cycles, m.warm.cycles))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    """Measure a whole suite on one platform."""
+    functions = SUITES[args.suite]
+    hotel_suite = _hotel_services(args.db) if args.suite == "hotel" else None
+    measurements = {}
+    for function in functions:
+        harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
+                                    seed=args.seed)
+        measurements[function.name] = harness.measure_function(
+            function, services=_services_for(function, hotel_suite))
+        print("measured %s" % function.name, file=sys.stderr)
+    table = cold_warm_table(
+        "%s suite on %s (cycles)" % (args.suite, args.isa), measurements,
+        metric=lambda stats: stats.cycles,
+        order=[function.name for function in functions],
+        metric_name="cycles",
+    )
+    print(table.render())
+    return 0
+
+
+def cmd_sizes(args) -> int:
+    """Print the container compressed-size table."""
+    arches = [args.arch] if args.arch else ["x86", "riscv", "arm"]
+    print("%-30s %s" % ("function", "  ".join("%10s" % a for a in arches)))
+    for function in all_functions():
+        sizes = []
+        for arch in arches:
+            try:
+                sizes.append("%8.2fMB" % function.image(arch).compressed_size_mb)
+            except (KeyError, LookupError):
+                sizes.append("%10s" % "n/a")
+        print("%-30s %s" % (function.name, "  ".join(sizes)))
+    return 0
+
+
+def cmd_dse(args) -> int:
+    """Run a design-space sweep over --axis specs."""
+    function = get_function(args.function)
+    space = DesignSpace(isa=args.isa, scale=_scale_from(args))
+    for axis_spec in args.axis:
+        name, _sep, values_text = axis_spec.partition("=")
+        if not values_text:
+            raise SystemExit("--axis needs name=v1,v2,... got %r" % axis_spec)
+        values: List = []
+        for token in values_text.split(","):
+            try:
+                values.append(int(token))
+            except ValueError:
+                values.append(token)
+        space.axis(name, values)
+    result = space.sweep(function)
+    print(result.render())
+    print()
+    print("sensitivity (max/min cold-cycle swing per axis):")
+    for axis, ratio in sorted(result.sensitivity().items(),
+                              key=lambda item: -item[1]):
+        print("  %-20s %.2fx" % (axis, ratio))
+    print("best point: %s" % result.best().settings)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Profile a function's invocation program (report + validation)."""
+    from repro.serverless.engine import install_docker
+    from repro.serverless.faas import FaasPlatform
+    from repro.sim.isa import get_isa
+    from repro.sim.isa.report import report
+    from repro.sim.isa.validate import validate_assembled
+
+    function = get_function(args.function)
+    hotel_suite = _hotel_services(args.db) if function.suite == "hotel" else None
+    services = _services_for(function, hotel_suite)
+    engine = install_docker(args.isa)
+    engine.registry.push(function.image(args.isa))
+    platform = FaasPlatform(engine)
+    platform.deploy(function.name, function.name, function.runtime_name,
+                    function.handler, services=services)
+    record = platform.invoke(function.name, function.default_payload())
+    program = function.invocation_program(record, services, _scale_from(args))
+    assembled = get_isa(args.isa).assemble(program)
+    print(report(assembled).render())
+    issues = validate_assembled(assembled)
+    if issues:
+        print()
+        print("validation findings:")
+        for issue in issues:
+            print("  %s" % issue)
+    else:
+        print()
+        print("validation: clean")
+    return 0
+
+
+def cmd_lukewarm(args) -> int:
+    """Print the cold/warm/lukewarm triple for a function."""
+    harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
+                                seed=args.seed)
+    measurement = harness.measure_lukewarm(
+        function=get_function(args.function),
+        intruder=get_function(args.intruder),
+    )
+    print("%-12s %10s" % ("state", "cycles"))
+    print("%-12s %10d" % ("cold", measurement.cold.cycles))
+    print("%-12s %10d" % ("warm", measurement.warm.cycles))
+    print("%-12s %10d  (%.1fx warm)" % ("lukewarm", measurement.lukewarm.cycles,
+                                        measurement.lukewarm_slowdown))
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    """Measure the chained video-analytics pipeline."""
+    from repro.workloads.extras import deploy_video_pipeline
+
+    harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
+                                seed=args.seed)
+    measurement = harness.measure_pipeline(deploy_video_pipeline)
+    print("video-analytics pipeline on %s" % args.isa)
+    print(_format_stats("cold (chain cold)", measurement.cold))
+    print(_format_stats("warm (chain warm)", measurement.warm))
+    children = measurement.records[0].children
+    print("cold request drove %d downstream invocations (%d cold)" % (
+        len(children), sum(1 for child in children if child.cold)))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """Regenerate every evaluation figure's data into --out."""
+    from repro.core.reproduce import reproduce_all
+
+    reproduce_all(
+        scale=_scale_from(args),
+        output_dir=args.out,
+        db=args.db,
+        seed=args.seed,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    print("figure data written to %s" % args.out)
+    return 0
+
+
+def cmd_dbcompare(args) -> int:
+    """Fig 4.20: MongoDB vs Cassandra request times under QEMU."""
+    from repro.db import CassandraStore, MongoStore
+    from repro.emu import make_dev_vm
+    from repro.workloads.hotel import HotelSuite
+
+    print("%-16s %12s %12s %12s %12s" % ("function", "cass_cold", "cass_warm",
+                                         "mongo_cold", "mongo_warm"))
+    rows: Dict[str, Dict[str, tuple]] = {}
+    for store_cls in (CassandraStore, MongoStore):
+        suite = HotelSuite(store_cls())
+        vm = make_dev_vm("x86")
+        vm.boot()
+        vm.boot_database_container(suite.db)
+        for function in suite.functions:
+            services = suite.services_for(function)
+            cold = vm.time_request(function, services=services, cold=True)
+            for sequence in range(2, 10):
+                vm.time_request(function, services=services, sequence=sequence)
+            warm = vm.time_request(function, services=services, sequence=10)
+            rows.setdefault(function.short_name, {})[suite.db.name] = (cold, warm)
+    for short, by_db in rows.items():
+        print("%-16s %12.0f %12.0f %12.0f %12.0f" % (
+            short, *by_db["cassandra"], *by_db["mongodb"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro argument parser (one subcommand per task)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Benchmarking support for RISC-V CPUs in serverless computing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark functions").set_defaults(
+        func=cmd_list)
+
+    measure = sub.add_parser("measure", help="run the 10-request protocol")
+    measure.add_argument("function")
+    measure.add_argument("--isa", default="riscv", choices=["riscv", "x86", "arm"])
+    measure.add_argument("--db", default="cassandra")
+    measure.add_argument("--seed", type=int, default=0)
+    _add_scale_arguments(measure)
+    measure.set_defaults(func=cmd_measure)
+
+    compare = sub.add_parser("compare", help="compare ISAs for one function")
+    compare.add_argument("function")
+    compare.add_argument("--isas", default="riscv,x86")
+    compare.add_argument("--db", default="cassandra")
+    compare.add_argument("--seed", type=int, default=0)
+    _add_scale_arguments(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    suite = sub.add_parser("suite", help="measure a whole suite")
+    suite.add_argument("suite", choices=sorted(SUITES))
+    suite.add_argument("--isa", default="riscv", choices=["riscv", "x86", "arm"])
+    suite.add_argument("--db", default="cassandra")
+    suite.add_argument("--seed", type=int, default=0)
+    _add_scale_arguments(suite)
+    suite.set_defaults(func=cmd_suite)
+
+    sizes = sub.add_parser("sizes", help="container size table")
+    sizes.add_argument("--arch", choices=["x86", "riscv", "arm"])
+    sizes.set_defaults(func=cmd_sizes)
+
+    dse = sub.add_parser("dse", help="design-space exploration sweep")
+    dse.add_argument("function")
+    dse.add_argument("--isa", default="riscv", choices=["riscv", "x86", "arm"])
+    dse.add_argument("--axis", action="append", required=True,
+                     metavar="NAME=V1,V2,...")
+    _add_scale_arguments(dse)
+    dse.set_defaults(func=cmd_dse)
+
+    trace = sub.add_parser("trace",
+                           help="profile + validate a function's program")
+    trace.add_argument("function")
+    trace.add_argument("--isa", default="riscv",
+                       choices=["riscv", "x86", "arm"])
+    trace.add_argument("--db", default="cassandra")
+    _add_scale_arguments(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    lukewarm = sub.add_parser("lukewarm",
+                              help="cold/warm/lukewarm triple for a function")
+    lukewarm.add_argument("function")
+    lukewarm.add_argument("--intruder", default="fibonacci-python")
+    lukewarm.add_argument("--isa", default="riscv",
+                          choices=["riscv", "x86", "arm"])
+    lukewarm.add_argument("--seed", type=int, default=0)
+    _add_scale_arguments(lukewarm)
+    lukewarm.set_defaults(func=cmd_lukewarm)
+
+    pipeline = sub.add_parser("pipeline",
+                              help="measure the chained video-analytics pipeline")
+    pipeline.add_argument("--isa", default="riscv",
+                          choices=["riscv", "x86", "arm"])
+    pipeline.add_argument("--seed", type=int, default=0)
+    _add_scale_arguments(pipeline)
+    pipeline.set_defaults(func=cmd_pipeline)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every evaluation figure's data")
+    reproduce.add_argument("--out", default="reproduction-output")
+    reproduce.add_argument("--db", default="cassandra")
+    reproduce.add_argument("--seed", type=int, default=0)
+    _add_scale_arguments(reproduce)
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    dbcompare = sub.add_parser("dbcompare",
+                               help="MongoDB vs Cassandra under QEMU (Fig 4.20)")
+    dbcompare.set_defaults(func=cmd_dbcompare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""The benchmarking harness — the thesis's contribution, reproduced.
+
+This package is the vSwarm-u analog: it wires the serverless substrate,
+the workload suite and the microarchitectural simulator into the
+experiment protocol of §4.1.2 / Fig 4.1:
+
+1. **image preparation** (:mod:`repro.emu` builds the disk image under
+   QEMU),
+2. **setup mode** — boot the simulated system with the Atomic core, start
+   the container engine, pin the server, take a checkpoint,
+3. **evaluation mode** — restore the checkpoint with the O3 core, reset
+   stats, measure request 1 (cold), functionally warm requests 2–9, reset
+   stats, measure request 10 (warm).
+
+Entry points: :class:`~repro.core.harness.ExperimentHarness` for single
+functions, :func:`~repro.core.harness.run_suite` for batches, and
+:mod:`repro.core.config` for the Table 4.1–4.3 platform configurations.
+"""
+
+from repro.core.config import (
+    ARM_PLATFORM,
+    PlatformConfig,
+    RISCV_PLATFORM,
+    X86_PLATFORM,
+    platform_for,
+)
+from repro.core.dse import DesignSpace
+from repro.core.duplex import DuplexHarness
+from repro.core.harness import (
+    ExperimentHarness,
+    FunctionMeasurement,
+    LukewarmMeasurement,
+    run_suite,
+)
+from repro.core.persist import load_measurements, save_measurements
+from repro.core.results import MeasurementTable
+from repro.core.scale import BENCH, NATIVE, SimScale, TEST
+
+__all__ = [
+    "BENCH",
+    "ExperimentHarness",
+    "FunctionMeasurement",
+    "MeasurementTable",
+    "NATIVE",
+    "PlatformConfig",
+    "RISCV_PLATFORM",
+    "SimScale",
+    "TEST",
+    "X86_PLATFORM",
+    "platform_for",
+    "run_suite",
+]

@@ -1,0 +1,211 @@
+"""Two-core client/server simulation (Fig 4.3, both cores live).
+
+The thesis pins the load-generating client to core 0 and the function
+container to core 1, collecting statistics from the server core.  The
+basic harness models the client as free; this module simulates both
+sides through the event queue: the client core executes a request-build
+program, the request crosses the interconnect (a latency modelled in
+ticks), the server core executes the invocation program, and the reply
+crosses back — yielding true end-to-end response times alongside the
+server-core statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.harness import (
+    CLIENT_CORE,
+    ExperimentHarness,
+    RequestStats,
+    SERVER_CORE,
+)
+from repro.core.scale import BENCH, SimScale
+from repro.serverless.engine import install_docker
+from repro.serverless.faas import FaasPlatform
+from repro.sim.checkpoint import restore_checkpoint
+from repro.sim.isa import ir
+
+#: One-way interconnect latency between the cores' network endpoints, in
+#: core cycles (loopback veth + bridge hop inside the simulated host).
+NETWORK_ONEWAY_CYCLES = 12_000
+
+
+def build_client_program(function_name: str, request_bytes: int,
+                         response_bytes: int, scale: SimScale,
+                         seed: int = 0) -> ir.Program:
+    """The relay client's per-request work: build, send, parse reply."""
+    program = ir.Program("client.%s" % function_name, seed=seed,
+                         aslr_key="client.%s" % function_name)
+    buffers = program.space.alloc("client.buffers", scale.data_bytes(32 * 1024))
+    body = ir.Seq([
+        # Serialize the request.
+        ir.Block([
+            ir.IROp(ir.OP_IALU, count=max(1, scale.instrs(request_bytes * 4))),
+            ir.IROp(ir.OP_STORE, count=max(1, scale.instrs(request_bytes / 4)),
+                    region=buffers, pattern=ir.StridePattern(stride=8)),
+            ir.IROp(ir.OP_SYSCALL, count=1),
+        ], kind="rtpath"),
+        # Parse the reply.
+        ir.Block([
+            ir.IROp(ir.OP_SYSCALL, count=1),
+            ir.IROp(ir.OP_LOAD, count=max(1, scale.instrs(response_bytes / 4)),
+                    region=buffers, pattern=ir.StridePattern(stride=8)),
+            ir.IROp(ir.OP_IALU, count=max(1, scale.instrs(response_bytes * 3))),
+        ], kind="rtpath"),
+    ])
+    program.add_routine(ir.Routine("relay", body), entry=True)
+    return program
+
+
+class EndToEndSample:
+    """One request's timeline, in server-clock cycles."""
+
+    def __init__(self, sequence: int, cold: bool, client_cycles: int,
+                 server_cycles: int, network_cycles: int):
+        self.sequence = sequence
+        self.cold = cold
+        self.client_cycles = client_cycles
+        self.server_cycles = server_cycles
+        self.network_cycles = network_cycles
+
+    @property
+    def response_time(self) -> int:
+        """Client-observed request-to-reply latency."""
+        return self.client_cycles + self.network_cycles + self.server_cycles
+
+    @property
+    def server_share(self) -> float:
+        return self.server_cycles / self.response_time if self.response_time else 0.0
+
+    def __repr__(self) -> str:
+        return "EndToEndSample(#%d %s: %d = client %d + net %d + server %d)" % (
+            self.sequence, "cold" if self.cold else "warm", self.response_time,
+            self.client_cycles, self.network_cycles, self.server_cycles,
+        )
+
+
+class DuplexMeasurement:
+    """End-to-end samples plus the server-core cold/warm stats."""
+
+    def __init__(self, function: str, isa: str, samples: List[EndToEndSample],
+                 cold: RequestStats, warm: RequestStats):
+        self.function = function
+        self.isa = isa
+        self.samples = samples
+        self.cold = cold
+        self.warm = warm
+
+    @property
+    def cold_sample(self) -> EndToEndSample:
+        return self.samples[0]
+
+    @property
+    def warm_sample(self) -> EndToEndSample:
+        return self.samples[-1]
+
+    def __repr__(self) -> str:
+        return "DuplexMeasurement(%s/%s: e2e cold=%d warm=%d)" % (
+            self.function, self.isa, self.cold_sample.response_time,
+            self.warm_sample.response_time,
+        )
+
+
+class DuplexHarness(ExperimentHarness):
+    """Harness variant that simulates the client core too.
+
+    Request flow per Fig 4.1/4.3, sequenced on the event queue: the
+    client's send completes, the request crosses the interconnect, the
+    server program executes, the reply crosses back, the client parses
+    it.  Requests 1 and ``requests`` run with the detailed core on both
+    sides; the middle requests warm functionally.
+    """
+
+    def measure_duplex(
+        self,
+        function,
+        services: Optional[Dict[str, Any]] = None,
+        requests: int = 10,
+        network_oneway_cycles: int = NETWORK_ONEWAY_CYCLES,
+    ) -> DuplexMeasurement:
+        if requests < 2:
+            raise ValueError("the protocol needs at least 2 requests")
+        if not self.prepared:
+            self.prepare(service_stores=self._stores_of(services))
+        restore_checkpoint(self.system, self._boot_checkpoint)
+        self.system.switch_cpu(SERVER_CORE, "o3")
+        self.system.switch_cpu(CLIENT_CORE, "o3")
+
+        services = services or {}
+        engine = install_docker(self.isa)
+        engine.registry.push(function.image(self.isa))
+        platform = FaasPlatform(engine, server_core=SERVER_CORE)
+        platform.deploy(function.name, function.name, function.runtime_name,
+                        function.handler, services=services)
+
+        network_scaled = max(1, self.scale.instrs(network_oneway_cycles))
+        eventq = self.system.eventq
+        period = self.system.clock.frequency.period_ticks
+
+        samples: List[EndToEndSample] = []
+        cold_stats: Optional[RequestStats] = None
+        warm_stats: Optional[RequestStats] = None
+
+        for sequence in range(requests):
+            payload = function.default_payload(sequence)
+            record = platform.invoke(function.name, payload)
+            server_program = function.invocation_program(
+                record, services, self.scale, seed=self.seed)
+            client_program = build_client_program(
+                function.name, record.request_bytes, record.response_bytes,
+                self.scale, seed=self.seed)
+            measured = sequence == 0 or sequence == requests - 1
+
+            if not measured:
+                self.system.warm(CLIENT_CORE, client_program, seed=self.seed)
+                self.system.warm(SERVER_CORE, server_program, seed=self.seed)
+                continue
+
+            self.system.reset_stats()
+            timeline: Dict[str, int] = {}
+
+            def run_client() -> None:
+                result = self.system.run(CLIENT_CORE, client_program,
+                                         model="o3", seed=self.seed)
+                timeline["client"] = result.cycles
+                eventq.schedule(result.cycles * period + network_scaled * period,
+                                run_server, name="request-delivery")
+
+            def run_server() -> None:
+                result = self.system.run(SERVER_CORE, server_program,
+                                         model="o3", seed=self.seed)
+                timeline["server"] = result.cycles
+                eventq.schedule(network_scaled * period, deliver_reply,
+                                name="reply-delivery")
+
+            def deliver_reply() -> None:
+                timeline["reply_at"] = eventq.now
+
+            eventq.schedule(0, run_client, name="request-%d" % sequence)
+            eventq.simulate()
+
+            dump = self.system.dump_stats()
+            stats = RequestStats(timeline["server"],
+                                 int(dump["%s.cpu%d.o3.committedInsts"
+                                         % (self.system.name, SERVER_CORE)]),
+                                 dump, self.system.name)
+            samples.append(EndToEndSample(
+                sequence=sequence + 1,
+                cold=record.cold,
+                client_cycles=timeline["client"],
+                server_cycles=timeline["server"],
+                network_cycles=2 * network_scaled,
+            ))
+            if sequence == 0:
+                cold_stats = stats
+            else:
+                warm_stats = stats
+
+        assert cold_stats is not None and warm_stats is not None
+        return DuplexMeasurement(function.name, self.isa, samples,
+                                 cold_stats, warm_stats)

@@ -1,0 +1,114 @@
+"""Result persistence and gem5-style rendering.
+
+Measurements serialize to JSON for archival and cross-run comparison, and
+stat dumps render in the ``stats.txt`` format gem5 users grep through —
+``name  value  # description`` — so existing post-processing habits
+carry over.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.core.harness import FunctionMeasurement, RequestStats
+
+FORMAT_VERSION = 1
+
+
+def stats_to_dict(stats: RequestStats) -> Dict[str, Any]:
+    """JSON-ready view of one request's counters (CPI included)."""
+    payload = stats.as_dict()
+    payload["cpi"] = stats.cpi
+    return payload
+
+
+def measurement_to_dict(measurement: FunctionMeasurement) -> Dict[str, Any]:
+    """A JSON-ready snapshot of one function's cold+warm measurement."""
+    return {
+        "function": measurement.function,
+        "isa": measurement.isa,
+        "cold": stats_to_dict(measurement.cold),
+        "warm": stats_to_dict(measurement.warm),
+        "cold_warm_cycle_ratio": measurement.cold_warm_cycle_ratio,
+        "requests": len(measurement.records),
+        "setup_notes": list(measurement.setup_notes),
+    }
+
+
+def save_measurements(
+    measurements: Mapping[str, FunctionMeasurement],
+    path,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Persist a batch of measurements as a JSON document."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format_version": FORMAT_VERSION,
+        "metadata": metadata or {},
+        "measurements": {
+            name: measurement_to_dict(measurement)
+            for name, measurement in measurements.items()
+        },
+    }
+    target.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return target
+
+
+def load_measurements(path) -> Dict[str, Dict[str, Any]]:
+    """Load a persisted batch (plain dicts; the sim state is not kept)."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError("unsupported results format %r (expected %d)"
+                         % (version, FORMAT_VERSION))
+    return document["measurements"]
+
+
+def diff_measurements(
+    before: Mapping[str, Dict[str, Any]],
+    after: Mapping[str, Dict[str, Any]],
+    metric: str = "cycles",
+    mode: str = "cold",
+) -> Dict[str, float]:
+    """Per-function after/before ratios for a metric (regression hunting)."""
+    ratios: Dict[str, float] = {}
+    for name in sorted(set(before) & set(after)):
+        old = before[name][mode][metric]
+        new = after[name][mode][metric]
+        if old:
+            ratios[name] = new / old
+    return ratios
+
+
+def render_stats_txt(
+    dump: Mapping[str, float],
+    descriptions: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a stat dump in gem5's stats.txt layout."""
+    descriptions = descriptions or {}
+    lines = ["---------- Begin Simulation Statistics ----------"]
+    width = max((len(name) for name in dump), default=0) + 2
+    for name in sorted(dump):
+        value = dump[name]
+        if isinstance(value, float) and not value.is_integer():
+            rendered = "%12.6f" % value
+        else:
+            rendered = "%12d" % int(value)
+        comment = descriptions.get(name, "")
+        lines.append("%s %s%s" % (
+            name.ljust(width), rendered,
+            ("    # " + comment) if comment else "",
+        ))
+    lines.append("---------- End Simulation Statistics   ----------")
+    return "\n".join(lines)
+
+
+def write_stats_txt(dump: Mapping[str, float], path) -> Path:
+    """Write a dump to disk in stats.txt form (the m5 dump artifact)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_stats_txt(dump) + "\n")
+    return target

@@ -1,0 +1,165 @@
+"""One-call reproduction of the paper's full evaluation.
+
+The benchmark suite (``pytest benchmarks/``) asserts the paper's shapes;
+this module provides the same measurement batches as a library — for the
+benches, the CLI (``python -m repro reproduce``), and downstream scripts
+that want the data without pytest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.harness import ExperimentHarness, FunctionMeasurement
+from repro.core.results import cold_warm_table, isa_comparison_table
+from repro.core.scale import BENCH, SimScale
+
+
+def measure_functions(
+    functions: Iterable,
+    isa: str,
+    scale: SimScale = BENCH,
+    services_for=None,
+    seed: int = 0,
+    progress=None,
+) -> Dict[str, FunctionMeasurement]:
+    """Run the 10-request protocol for a batch of functions on one ISA."""
+    measurements: Dict[str, FunctionMeasurement] = {}
+    for function in functions:
+        harness = ExperimentHarness(isa=isa, scale=scale, seed=seed)
+        services = services_for(function) if services_for else {}
+        measurements[function.name] = harness.measure_function(
+            function, services=services)
+        if progress is not None:
+            progress("measured %s on %s" % (function.name, isa))
+    return measurements
+
+
+def measure_standalone_shop(isa: str, scale: SimScale = BENCH, seed: int = 0,
+                            progress=None) -> Dict[str, FunctionMeasurement]:
+    """The Fig 4.4/4.12/4.15-4.18 batch: standalone + online shop."""
+    from repro.workloads.catalog import ONLINESHOP_FUNCTIONS, STANDALONE_FUNCTIONS
+
+    return measure_functions(STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS,
+                             isa, scale, seed=seed, progress=progress)
+
+
+def measure_hotel(isa: str, scale: SimScale = BENCH, db: str = "cassandra",
+                  seed: int = 0, progress=None) -> Dict[str, FunctionMeasurement]:
+    """The Fig 4.5/4.14/4.19 batch: the hotel suite over a database."""
+    from repro.db import make_datastore
+    from repro.workloads.hotel import HotelSuite
+
+    suite = HotelSuite(make_datastore(db))
+    return measure_functions(suite.functions, isa, scale,
+                             services_for=suite.services_for, seed=seed,
+                             progress=progress)
+
+
+def qemu_database_comparison(progress=None) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """Fig 4.20's data: request ns under QEMU/x86 per database."""
+    from repro.db import CassandraStore, MongoStore
+    from repro.emu import make_dev_vm
+    from repro.workloads.hotel import HotelSuite
+
+    results: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for store_cls in (MongoStore, CassandraStore):
+        suite = HotelSuite(store_cls())
+        vm = make_dev_vm("x86")
+        vm.boot()
+        vm.boot_database_container(suite.db)
+        for function in suite.functions:
+            services = suite.services_for(function)
+            cold = vm.time_request(function, services=services, cold=True,
+                                   sequence=1)
+            for sequence in range(2, 10):
+                vm.time_request(function, services=services, sequence=sequence)
+            warm = vm.time_request(function, services=services, sequence=10)
+            results[(suite.db.name, function.short_name)] = (cold, warm)
+        if progress is not None:
+            progress("timed hotel suite on %s" % suite.db.name)
+    return results
+
+
+#: The evaluation's figure inventory: id -> (title, metric attribute).
+CYCLE_FIGURES = {
+    "fig4_04": ("Fig 4.4: cycles, standalone + online shop (RISC-V)", "cycles"),
+    "fig4_12": ("Fig 4.12: cycles, standalone + online shop (x86)", "cycles"),
+}
+COMPARISON_FIGURES = {
+    "fig4_15": ("Fig 4.15: cycles, RISC-V vs x86", "cycles"),
+    "fig4_16": ("Fig 4.16: instructions, RISC-V vs x86", "instructions"),
+    "fig4_17": ("Fig 4.17: L1I misses, RISC-V vs x86", "l1i_misses"),
+    "fig4_18": ("Fig 4.18: L2 misses, RISC-V vs x86", "l2_misses"),
+}
+
+
+def reproduce_all(
+    scale: SimScale = BENCH,
+    output_dir: Optional[str] = None,
+    db: str = "cassandra",
+    seed: int = 0,
+    progress=None,
+) -> Dict[str, Any]:
+    """Regenerate every evaluation figure's data; optionally write files.
+
+    Returns the raw measurement batches keyed by batch name; when
+    ``output_dir`` is given, also renders the figure tables+charts there
+    (the same artifacts the bench suite produces).
+    """
+    from repro.workloads.catalog import (
+        HOTEL_FUNCTIONS,
+        ONLINESHOP_FUNCTIONS,
+        STANDALONE_FUNCTIONS,
+    )
+
+    order = [fn.name for fn in STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS]
+    hotel_order = [fn.name for fn in HOTEL_FUNCTIONS]
+
+    batches: Dict[str, Any] = {
+        "riscv_standalone_shop": measure_standalone_shop("riscv", scale, seed,
+                                                         progress),
+        "x86_standalone_shop": measure_standalone_shop("x86", scale, seed,
+                                                       progress),
+        "riscv_hotel": measure_hotel("riscv", scale, db, seed, progress),
+        "x86_hotel": measure_hotel("x86", scale, db, seed, progress),
+        "qemu_db_comparison": qemu_database_comparison(progress),
+    }
+
+    if output_dir is not None:
+        target = Path(output_dir)
+        target.mkdir(parents=True, exist_ok=True)
+
+        def emit(name: str, table) -> None:
+            (target / ("%s.txt" % name)).write_text(
+                table.render() + "\n\n" + table.render_chart() + "\n")
+
+        emit("fig4_04", cold_warm_table(
+            CYCLE_FIGURES["fig4_04"][0], batches["riscv_standalone_shop"],
+            metric=lambda stats: stats.cycles, order=order,
+            metric_name="cycles"))
+        emit("fig4_05", cold_warm_table(
+            "Fig 4.5: cycles, hotel application (RISC-V)",
+            batches["riscv_hotel"], metric=lambda stats: stats.cycles,
+            order=hotel_order, metric_name="cycles"))
+        emit("fig4_12", cold_warm_table(
+            CYCLE_FIGURES["fig4_12"][0], batches["x86_standalone_shop"],
+            metric=lambda stats: stats.cycles, order=order,
+            metric_name="cycles"))
+        emit("fig4_14", cold_warm_table(
+            "Fig 4.14: cycles, hotel application (x86)", batches["x86_hotel"],
+            metric=lambda stats: stats.cycles, order=hotel_order,
+            metric_name="cycles"))
+        for figure_id, (title, metric_name) in COMPARISON_FIGURES.items():
+            emit(figure_id, isa_comparison_table(
+                title, batches["riscv_standalone_shop"],
+                batches["x86_standalone_shop"],
+                metric=lambda stats, m=metric_name: getattr(stats, m),
+                order=order, metric_name=metric_name))
+        emit("fig4_19", isa_comparison_table(
+            "Fig 4.19: cycles, hotel application, RISC-V vs x86",
+            batches["riscv_hotel"], batches["x86_hotel"],
+            metric=lambda stats: stats.cycles, order=hotel_order,
+            metric_name="cycles"))
+    return batches

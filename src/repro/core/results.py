@@ -1,0 +1,120 @@
+"""Result aggregation and rendering.
+
+Turns batches of :class:`~repro.core.harness.FunctionMeasurement` into
+the row/series layouts the thesis's figures use, and renders them as
+aligned text tables (the benches print these so a run regenerates each
+figure's data).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.harness import FunctionMeasurement
+
+
+class MeasurementTable:
+    """A named table of per-function metric columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List] = []
+
+    def add_row(self, label: str, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "row %r has %d values for %d columns"
+                % (label, len(values), len(self.columns))
+            )
+        self.rows.append([label, *values])
+
+    def column(self, name: str) -> List:
+        index = self.columns.index(name) + 1
+        return [row[index] for row in self.rows]
+
+    def labels(self) -> List[str]:
+        return [row[0] for row in self.rows]
+
+    def render(self) -> str:
+        headers = ["benchmark", *self.columns]
+        table = [headers] + [
+            [str(cell) if not isinstance(cell, float) else "%.2f" % cell
+             for cell in row]
+            for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+        lines = [self.title, "-" * len(self.title)]
+        for row_index, row in enumerate(table):
+            lines.append("  ".join(cell.rjust(width) if index else cell.ljust(width)
+                                   for index, (cell, width) in enumerate(zip(row, widths))))
+            if row_index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+    def render_chart(self, width: int = 50, unit: str = "") -> str:
+        """ASCII bar-chart view of the table (the figure's shape)."""
+        from repro.analysis.charts import grouped_hbar_chart
+
+        series = {name: self.column(name) for name in self.columns}
+        numeric = {
+            name: values for name, values in series.items()
+            if all(isinstance(value, (int, float)) for value in values)
+        }
+        if not numeric:
+            raise ValueError("no numeric columns to chart")
+        return grouped_hbar_chart(self.title, self.labels(), numeric,
+                                  width=width, unit=unit)
+
+    def __repr__(self) -> str:
+        return "MeasurementTable(%s, %d rows)" % (self.title, len(self.rows))
+
+
+def cold_warm_table(
+    title: str,
+    measurements: Dict[str, FunctionMeasurement],
+    metric: Callable[[object], float],
+    order: Optional[Iterable[str]] = None,
+    metric_name: str = "value",
+) -> MeasurementTable:
+    """One column pair (cold, warm) per function, the Fig 4.4/4.5 layout."""
+    table = MeasurementTable(title, ["cold_%s" % metric_name, "warm_%s" % metric_name])
+    names = list(order) if order is not None else sorted(measurements)
+    for name in names:
+        measurement = measurements[name]
+        table.add_row(name, metric(measurement.cold), metric(measurement.warm))
+    return table
+
+
+def isa_comparison_table(
+    title: str,
+    riscv: Dict[str, FunctionMeasurement],
+    x86: Dict[str, FunctionMeasurement],
+    metric: Callable[[object], float],
+    order: Optional[Iterable[str]] = None,
+    metric_name: str = "value",
+) -> MeasurementTable:
+    """Four columns per function, the Fig 4.15–4.19 layout."""
+    table = MeasurementTable(title, [
+        "x86_cold_%s" % metric_name, "x86_warm_%s" % metric_name,
+        "riscv_cold_%s" % metric_name, "riscv_warm_%s" % metric_name,
+    ])
+    names = list(order) if order is not None else sorted(set(riscv) & set(x86))
+    for name in names:
+        table.add_row(
+            name,
+            metric(x86[name].cold), metric(x86[name].warm),
+            metric(riscv[name].cold), metric(riscv[name].warm),
+        )
+    return table
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of the positive values (zeros are skipped)."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

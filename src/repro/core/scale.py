@@ -1,0 +1,68 @@
+"""Scaled-machine methodology.
+
+Simulating the thesis's full-size runs (hundreds of millions of cycles per
+cold request) instruction-by-instruction in pure Python is intractable, so
+experiments run on a *scaled machine*: dynamic work (instruction counts,
+loop trips) shrinks by :attr:`SimScale.time`, and capacities (cache sizes,
+data footprints) shrink by :attr:`SimScale.space`.  Because footprints and
+caches shrink together, footprint-to-capacity ratios — and therefore
+hit/miss *behaviour* — track the full-size machine; because all workloads
+in one experiment share a scale, every ratio the paper's figures are about
+(cold vs warm, RISC-V vs x86, who wins and by roughly what factor) is
+preserved.  Reported cycle counts can be projected back to native scale by
+multiplying with :attr:`SimScale.time`.
+
+This is the standard scaled-cache evaluation trick; DESIGN.md documents it
+as the substitution for gem5's native-size (but days-long) simulations.
+"""
+
+from __future__ import annotations
+
+
+class SimScale:
+    """Divisors applied to dynamic work (time) and capacities (space)."""
+
+    def __init__(self, time: int = 256, space: int = 16):
+        if time < 1 or space < 1:
+            raise ValueError("scale divisors must be >= 1")
+        self.time = time
+        self.space = space
+
+    def instrs(self, native_count: float) -> int:
+        """Scale a dynamic instruction/op count (floor 1)."""
+        return max(1, int(round(native_count / self.time)))
+
+    def trips(self, native_count: float) -> int:
+        """Scale a loop trip count (floor 1)."""
+        return max(1, int(round(native_count / self.time)))
+
+    def data_bytes(self, native_bytes: float, floor: int = 256) -> int:
+        """Scale a data footprint (floor keeps regions allocatable)."""
+        return max(floor, int(round(native_bytes / self.space)))
+
+    def project_cycles(self, scaled_cycles: float) -> float:
+        """Project a scaled cycle count back toward native magnitude."""
+        return scaled_cycles * self.time
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SimScale)
+            and other.time == self.time
+            and other.space == self.space
+        )
+
+    def __hash__(self) -> int:
+        return hash(("SimScale", self.time, self.space))
+
+    def __repr__(self) -> str:
+        return "SimScale(time=%d, space=%d)" % (self.time, self.space)
+
+
+#: Native scale: what the thesis's week-long gem5 runs would use.
+NATIVE = SimScale(time=1, space=1)
+
+#: Default scale for the benchmark harness: minutes instead of days.
+BENCH = SimScale(time=256, space=16)
+
+#: Aggressive scale for unit tests: seconds.
+TEST = SimScale(time=2048, space=32)

@@ -1,0 +1,59 @@
+"""Datastore substrates for the Hotel application.
+
+The thesis's Hotel functions depend on MongoDB (replaced by Apache
+Cassandra for the RISC-V port, §3.3.3) and Memcached.  We implement
+working in-Python equivalents of every store the thesis considered:
+
+* :mod:`repro.db.mongodb` — document store with B-tree-style indexes,
+* :mod:`repro.db.cassandra` — wide-column LSM store (memtable, SSTables,
+  bloom filters, compaction) with the JVM boot profile that made its
+  RISC-V boots so slow,
+* :mod:`repro.db.mariadb` — relational store (the rejected alternative),
+* :mod:`repro.db.memcached` — slab-allocated LRU cache,
+* :mod:`repro.db.redis` — in-memory KV store (rejected as a primary DB).
+
+Every operation is metered in a :class:`~repro.db.engine.WorkReceipt`; the
+Hotel workload models turn those receipts into IR programs so the work a
+query *actually did* — index probes, SSTable scans, bytes serialized — is
+what generates instruction and memory traffic in the simulator.
+"""
+
+from repro.db.cassandra import CassandraStore
+from repro.db.cluster import CassandraCluster, NodeDownError
+from repro.db.engine import Datastore, WorkReceipt
+from repro.db.mariadb import MariaDbStore
+from repro.db.memcached import MemcachedCache
+from repro.db.mongodb import MongoStore
+from repro.db.redis import RedisStore
+
+#: Registry of primary datastores by the name the suite configs use.
+DATASTORES = {
+    "mongodb": MongoStore,
+    "cassandra": CassandraStore,
+    "mariadb": MariaDbStore,
+    "redis": RedisStore,
+}
+
+
+def make_datastore(name: str, **kwargs) -> Datastore:
+    """Instantiate a primary datastore by name."""
+    try:
+        cls = DATASTORES[name]
+    except KeyError:
+        raise ValueError("unknown datastore %r; have %s" % (name, sorted(DATASTORES)))
+    return cls(**kwargs)
+
+
+__all__ = [
+    "CassandraCluster",
+    "CassandraStore",
+    "NodeDownError",
+    "DATASTORES",
+    "Datastore",
+    "MariaDbStore",
+    "MemcachedCache",
+    "MongoStore",
+    "RedisStore",
+    "WorkReceipt",
+    "make_datastore",
+]

@@ -1,0 +1,277 @@
+"""A small SQL front-end for the MariaDB-like store.
+
+MariaDB is a *relational* database — the reason the thesis abandoned it
+as a MongoDB replacement despite its RISC-V friendliness (§3.3.3.2).
+This module gives the row store its native interface: a hand-written
+tokenizer and recursive-descent parser for the statement subset the
+hotel-style workloads need::
+
+    CREATE TABLE rooms (id, city, rate)
+    INSERT INTO rooms (id, city, rate) VALUES ('r1', 'athens', 120)
+    SELECT id, rate FROM rooms WHERE city = 'athens' AND rate < 200
+    SELECT * FROM rooms ORDER BY rate DESC LIMIT 3
+    DELETE FROM rooms WHERE id = 'r1'
+
+Work is metered through the store's receipts like every other access
+path, plus a parse cost per statement (the query-engine overhead a
+NoSQL point-get skips).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.db.mariadb import MariaDbStore
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'(?:[^'\\]|\\.)*')"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<symbol>[(),*=]|<=|>=|<>|!=|<|>)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r")"
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "order", "by", "limit", "insert",
+    "into", "values", "create", "table", "delete", "asc", "desc",
+}
+
+
+class SqlError(ValueError):
+    """Malformed or unsupported SQL."""
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    """Split a statement into (kind, value) tokens; raises on garbage."""
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlError("cannot tokenize near %r" % remainder[:20])
+        position = match.end()
+        for kind in ("string", "number", "symbol", "word"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "word" and value.lower() in _KEYWORDS:
+                    tokens.append(("keyword", value.lower()))
+                else:
+                    tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        kind, value = self.next()
+        if kind != "keyword" or value != word:
+            raise SqlError("expected %s, got %r" % (word.upper(), value))
+
+    def expect_symbol(self, symbol: str) -> None:
+        kind, value = self.next()
+        if kind != "symbol" or value != symbol:
+            raise SqlError("expected %r, got %r" % (symbol, value))
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token == ("keyword", word):
+            self.position += 1
+            return True
+        return False
+
+    def identifier(self) -> str:
+        kind, value = self.next()
+        if kind != "word":
+            raise SqlError("expected identifier, got %r" % value)
+        return value
+
+    def literal(self) -> Any:
+        kind, value = self.next()
+        if kind == "string":
+            return value[1:-1].replace("\\'", "'")
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        raise SqlError("expected literal, got %r" % value)
+
+    def done(self) -> bool:
+        return self.position >= len(self.tokens)
+
+
+_OPERATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and a < b,
+    ">": lambda a, b: a is not None and b is not None and a > b,
+    "<=": lambda a, b: a is not None and b is not None and a <= b,
+    ">=": lambda a, b: a is not None and b is not None and a >= b,
+}
+
+#: Native instructions charged per parsed statement token (lexer+planner).
+_PARSE_COST_PER_TOKEN = 40
+
+
+class SqlEngine:
+    """Executes the supported SQL subset against a MariaDbStore."""
+
+    def __init__(self, store: Optional[MariaDbStore] = None):
+        self.store = store or MariaDbStore()
+        self.statements_executed = 0
+
+    def execute(self, text: str) -> List[Dict[str, Any]]:
+        """Run one statement; SELECTs return rows, others return []."""
+        tokens = tokenize(text)
+        if not tokens:
+            raise SqlError("empty statement")
+        self.store.receipt.add(cpu_work=len(tokens) * _PARSE_COST_PER_TOKEN)
+        parser = _Parser(tokens)
+        kind, value = parser.next()
+        if (kind, value) == ("keyword", "select"):
+            result = self._select(parser)
+        elif (kind, value) == ("keyword", "insert"):
+            result = self._insert(parser)
+        elif (kind, value) == ("keyword", "create"):
+            result = self._create(parser)
+        elif (kind, value) == ("keyword", "delete"):
+            result = self._delete(parser)
+        else:
+            raise SqlError("unsupported statement %r" % value)
+        if not parser.done():
+            raise SqlError("trailing tokens after statement")
+        self.statements_executed += 1
+        return result
+
+    # -- statements ---------------------------------------------------------
+
+    def _select(self, parser: _Parser) -> List[Dict[str, Any]]:
+        columns = self._column_list(parser)
+        parser.expect_keyword("from")
+        table = parser.identifier()
+        predicate = self._where(parser)
+        order_key, descending = self._order_by(parser)
+        limit = self._limit(parser)
+
+        rows = [row for row in self.store.scan(table) if predicate(row)]
+        if order_key is not None:
+            rows.sort(key=lambda row: (row.get(order_key) is None,
+                                       row.get(order_key)),
+                      reverse=descending)
+        if limit is not None:
+            rows = rows[:limit]
+        if columns is None:
+            return rows
+        return [{column: row.get(column) for column in columns} for row in rows]
+
+    def _insert(self, parser: _Parser) -> List[Dict[str, Any]]:
+        parser.expect_keyword("into")
+        table = parser.identifier()
+        parser.expect_symbol("(")
+        columns = [parser.identifier()]
+        while parser.peek() == ("symbol", ","):
+            parser.next()
+            columns.append(parser.identifier())
+        parser.expect_symbol(")")
+        parser.expect_keyword("values")
+        parser.expect_symbol("(")
+        values = [parser.literal()]
+        while parser.peek() == ("symbol", ","):
+            parser.next()
+            values.append(parser.literal())
+        parser.expect_symbol(")")
+        if len(columns) != len(values):
+            raise SqlError("%d columns but %d values" % (len(columns), len(values)))
+        record = dict(zip(columns, values))
+        key = str(record.get("id", "row%06d" % self.store.count(table)))
+        self.store.put(table, key, record)
+        return []
+
+    def _create(self, parser: _Parser) -> List[Dict[str, Any]]:
+        parser.expect_keyword("table")
+        table = parser.identifier()
+        parser.expect_symbol("(")
+        columns = [parser.identifier()]
+        while parser.peek() == ("symbol", ","):
+            parser.next()
+            columns.append(parser.identifier())
+        parser.expect_symbol(")")
+        if "id" not in columns:
+            columns = ["id"] + columns
+        self.store.create_table(table, columns, primary_key="id")
+        return []
+
+    def _delete(self, parser: _Parser) -> List[Dict[str, Any]]:
+        parser.expect_keyword("from")
+        table = parser.identifier()
+        predicate = self._where(parser)
+        victims = [row["id"] for row in self.store.scan(table) if predicate(row)]
+        for key in victims:
+            self.store.delete(table, str(key))
+        return []
+
+    # -- clauses --------------------------------------------------------------
+
+    def _column_list(self, parser: _Parser) -> Optional[List[str]]:
+        if parser.peek() == ("symbol", "*"):
+            parser.next()
+            return None
+        columns = [parser.identifier()]
+        while parser.peek() == ("symbol", ","):
+            parser.next()
+            columns.append(parser.identifier())
+        return columns
+
+    def _where(self, parser: _Parser):
+        if not parser.accept_keyword("where"):
+            return lambda row: True
+        clauses = [self._comparison(parser)]
+        while parser.accept_keyword("and"):
+            clauses.append(self._comparison(parser))
+        return lambda row: all(clause(row) for clause in clauses)
+
+    def _comparison(self, parser: _Parser):
+        column = parser.identifier()
+        kind, operator = parser.next()
+        if kind != "symbol" or operator not in _OPERATORS:
+            raise SqlError("unsupported operator %r" % operator)
+        value = parser.literal()
+        compare = _OPERATORS[operator]
+        return lambda row: compare(row.get(column), value)
+
+    def _order_by(self, parser: _Parser):
+        if not parser.accept_keyword("order"):
+            return None, False
+        parser.expect_keyword("by")
+        key = parser.identifier()
+        if parser.accept_keyword("desc"):
+            return key, True
+        parser.accept_keyword("asc")
+        return key, False
+
+    def _limit(self, parser: _Parser) -> Optional[int]:
+        if not parser.accept_keyword("limit"):
+            return None
+        value = parser.literal()
+        if not isinstance(value, int) or value < 0:
+            raise SqlError("LIMIT needs a non-negative integer")
+        return value

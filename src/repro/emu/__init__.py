@@ -1,0 +1,41 @@
+"""QEMU-analog emulation platform and system-software artifacts.
+
+The thesis's development platform was a QEMU RISC-V VM (§3.2); its gem5
+runs needed custom-built Linux kernels (modules built in — gem5 cannot
+load them dynamically, §3.4.2.2) and, on RISC-V, an explicit OpenSBI
+bootloader (§3.4.2.3).  This package models those artifacts and the
+emulator itself:
+
+* :mod:`repro.emu.kernel` — kernel configs, the docker check-config
+  flags, mod2yes builds, and the emergency-mode failure when a disk
+  image needs features the kernel lacks;
+* :mod:`repro.emu.bootchain` — per-ISA boot chains (OpenSBI vs built-in);
+* :mod:`repro.emu.disk` — qemu-img-style disk images holding packages and
+  container images;
+* :mod:`repro.emu.qemu` — the emulated VM with a TCG/KVM timing model,
+  used for development workflows and the MongoDB-vs-Cassandra wall-time
+  comparison (Fig 4.20) that could not run in gem5 (§3.5.2.3).
+"""
+
+from repro.emu.bootchain import BootChain, Bootloader, OPENSBI
+from repro.emu.disk import DiskImage
+from repro.emu.kernel import (
+    BootFailure,
+    KernelBuild,
+    KernelConfig,
+    KernelImage,
+)
+from repro.emu.qemu import QemuVM, make_dev_vm
+
+__all__ = [
+    "BootChain",
+    "BootFailure",
+    "Bootloader",
+    "DiskImage",
+    "KernelBuild",
+    "KernelConfig",
+    "KernelImage",
+    "OPENSBI",
+    "QemuVM",
+    "make_dev_vm",
+]

@@ -1,0 +1,64 @@
+"""Boot chains: the firmware stage before the kernel.
+
+On x86 the boot stages the thesis cared about are folded into the kernel
+image; full-system RISC-V simulation additionally needs the OpenSBI
+runtime firmware passed explicitly to gem5 (§3.4.2.3) — forgetting it is
+one of the configured failure modes here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.emu.kernel import BootFailure, KernelImage
+
+
+class Bootloader:
+    """A firmware artifact (OpenSBI and friends)."""
+
+    def __init__(self, name: str, arch: str, size_bytes: int):
+        self.name = name
+        self.arch = arch
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return "Bootloader(%s/%s)" % (self.name, self.arch)
+
+
+#: The OpenSBI fw_jump binary QEMU ships and gem5 must be handed.
+OPENSBI = Bootloader("opensbi-fw_jump", "riscv", 262144)
+
+
+class BootChain:
+    """Validates that a (bootloader, kernel) pair can start a platform."""
+
+    def __init__(self, kernel: KernelImage, bootloader: Optional[Bootloader] = None):
+        self.kernel = kernel
+        self.bootloader = bootloader
+
+    def validate(self) -> None:
+        """Raise :class:`BootFailure` if the chain cannot boot."""
+        if self.kernel.arch == "riscv":
+            if self.bootloader is None:
+                raise BootFailure(
+                    "RISC-V full-system boot needs an SBI bootloader "
+                    "(pass the OpenSBI binary, as the thesis had to for gem5)"
+                )
+            if self.bootloader.arch != "riscv":
+                raise BootFailure(
+                    "bootloader %s is for %s, not riscv"
+                    % (self.bootloader.name, self.bootloader.arch)
+                )
+        elif self.bootloader is not None and self.bootloader.arch != self.kernel.arch:
+            raise BootFailure("bootloader/kernel architecture mismatch")
+
+    @property
+    def stages(self) -> list:
+        names = []
+        if self.kernel.arch == "riscv" and self.bootloader is not None:
+            names.append(self.bootloader.name)
+        names.append("linux-%s" % self.kernel.version)
+        return names
+
+    def __repr__(self) -> str:
+        return "BootChain(%s)" % " -> ".join(self.stages)

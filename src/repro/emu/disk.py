@@ -1,0 +1,100 @@
+"""Disk images (the qemu-img workflow).
+
+The experiment's first step (§4.1.2.1) prepares an Ubuntu server disk
+image under QEMU: enlarge it, install Docker and dependencies, pull the
+benchmark containers, disable unneeded services, shut down.  The same
+image then boots under gem5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.serverless.container import ContainerImage
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+
+
+class DiskImage:
+    """A qcow2-style disk image with packages, services and containers."""
+
+    #: Base Ubuntu preinstalled-server payload.
+    BASE_PAYLOAD_BYTES = int(1.3 * GB)
+
+    def __init__(self, name: str, arch: str, size_bytes: int = 4 * GB,
+                 distro: str = "ubuntu-22.04-jammy"):
+        if size_bytes < self.BASE_PAYLOAD_BYTES:
+            raise ValueError("disk too small for the base system")
+        self.name = name
+        self.arch = arch
+        self.size_bytes = size_bytes
+        self.distro = distro
+        self.packages: List[str] = ["openssh-server", "systemd", "apt"]
+        self.services_enabled: Dict[str, bool] = {
+            "ssh": True, "snapd": True, "unattended-upgrades": True,
+            "cloud-init": True,
+        }
+        self.container_images: Dict[str, ContainerImage] = {}
+        self.used_bytes = self.BASE_PAYLOAD_BYTES
+
+    # -- qemu-img style operations ------------------------------------------------
+
+    def resize(self, new_size_bytes: int) -> None:
+        """qemu-img resize: grow only (shrinking risks the filesystem)."""
+        if new_size_bytes < self.size_bytes:
+            raise ValueError("refusing to shrink a disk image")
+        self.size_bytes = new_size_bytes
+
+    def convert(self, new_name: str) -> "DiskImage":
+        """qemu-img convert: a deep copy under a new name."""
+        clone = DiskImage(new_name, self.arch, self.size_bytes, self.distro)
+        clone.packages = list(self.packages)
+        clone.services_enabled = dict(self.services_enabled)
+        clone.container_images = dict(self.container_images)
+        clone.used_bytes = self.used_bytes
+        return clone
+
+    # -- provisioning ---------------------------------------------------------------
+
+    def install_package(self, name: str, size_bytes: int = 20 * MB) -> None:
+        if name in self.packages:
+            return
+        self._charge(size_bytes)
+        self.packages.append(name)
+
+    def store_container_image(self, image: ContainerImage) -> None:
+        if image.arch != self.arch:
+            raise ValueError(
+                "cannot store %s image on a %s disk" % (image.arch, self.arch)
+            )
+        # On-disk (uncompressed) layers are roughly 2.5x the compressed size.
+        self._charge(int(image.compressed_size_bytes * 2.5))
+        self.container_images[image.name] = image
+
+    def disable_service(self, name: str) -> None:
+        """Speeds up the gem5 boot, as the thesis did before shutdown."""
+        if name in self.services_enabled:
+            self.services_enabled[name] = False
+
+    def enabled_services(self) -> List[str]:
+        return sorted(name for name, on in self.services_enabled.items() if on)
+
+    def _charge(self, amount: int) -> None:
+        if self.used_bytes + amount > self.size_bytes:
+            raise IOError(
+                "no space left on device: need %d more bytes on %s "
+                "(qemu-img resize it first, as §3.2 does)"
+                % (self.used_bytes + amount - self.size_bytes, self.name)
+            )
+        self.used_bytes += amount
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size_bytes - self.used_bytes
+
+    def __repr__(self) -> str:
+        return "DiskImage(%s/%s, %.1f/%.1fGB, %d containers)" % (
+            self.name, self.arch, self.used_bytes / GB, self.size_bytes / GB,
+            len(self.container_images),
+        )

@@ -1,0 +1,81 @@
+"""Host timing backend: real wall-clock measurement of the handlers.
+
+The thesis's remaining future-work item is "run the ported serverless
+workloads and measure their performance on real RISC-V platforms".  We
+cannot supply RISC-V silicon, but the handlers are real code — so this
+backend runs them on the *host* interpreter and measures genuine wall
+time with ``perf_counter``, giving a non-simulated reference for the
+functional layer (useful for spotting handlers whose Python cost has
+drifted far from their modelled cost).
+
+Wall-clock numbers are inherently noisy and machine-dependent: this
+backend reports medians over repetitions and is excluded from the
+deterministic reproduction path.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.db.engine import encoded_size
+from repro.serverless.faas import InvocationContext, InvocationRecord
+
+
+class HostSample:
+    """Wall-clock timings for one function on the host."""
+
+    def __init__(self, function: str, cold_ns: float, warm_ns: List[float]):
+        self.function = function
+        self.cold_ns = cold_ns
+        self.warm_ns = warm_ns
+
+    @property
+    def warm_median_ns(self) -> float:
+        return statistics.median(self.warm_ns)
+
+    def __repr__(self) -> str:
+        return "HostSample(%s: cold=%.0fns, warm~%.0fns)" % (
+            self.function, self.cold_ns, self.warm_median_ns,
+        )
+
+
+class HostPlatform:
+    """Runs handlers natively and times them."""
+
+    def __init__(self, repetitions: int = 5):
+        if repetitions < 1:
+            raise ValueError("need at least one repetition")
+        self.repetitions = repetitions
+
+    def _invoke(self, function, payload: Dict[str, Any],
+                services: Dict[str, Any], local: Dict[str, Any],
+                sequence: int, cold: bool) -> float:
+        record = InvocationRecord(function.name, function.runtime_name,
+                                  cold, encoded_size(payload), sequence)
+        context = InvocationContext(record, services, local)
+        start = time.perf_counter()
+        function.handler(payload, context)
+        return (time.perf_counter() - start) * 1e9
+
+    def time_function(self, function, payload: Optional[Dict[str, Any]] = None,
+                      services: Optional[Dict[str, Any]] = None) -> HostSample:
+        """Cold (fresh in-process state) then warm repetitions."""
+        services = services or {}
+        payload = payload if payload is not None else function.default_payload()
+        local: Dict[str, Any] = {}
+        cold_ns = self._invoke(function, payload, services, local, 1, True)
+        warm_ns = [
+            self._invoke(function, payload, services, local, 2 + index, False)
+            for index in range(self.repetitions)
+        ]
+        return HostSample(function.name, cold_ns, warm_ns)
+
+    def compare(self, functions, services_for=None) -> Dict[str, HostSample]:
+        samples = {}
+        for function in functions:
+            services = services_for(function) if services_for else {}
+            samples[function.name] = self.time_function(function,
+                                                        services=services)
+        return samples

@@ -1,0 +1,157 @@
+"""Provisioning workflows: the porting war stories of §3, executable.
+
+The thesis's hardest chapters are not simulation but software
+provisioning on an immature ecosystem: Docker built from source inside
+the emulated VM (~3 hours, §3.2.2), a 4-hour ``pip install grpcio`` that
+then fails to import with ``undefined symbol:
+atomic-compare-exchange-1`` until libatomic is preloaded (§3.3.1.2), a
+bazel toolchain that neither builds natively nor cross-compiles, and a
+MongoDB port that simply does not exist.  This module models those
+workflows with their failure modes and documented workarounds, on the
+same wall-clock cost model the VM uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.emu.qemu import QemuVM
+
+#: Native dynamic instruction counts of provisioning jobs.
+_JOB_INSTRUCTIONS = {
+    "apt-install": 30_000_000_000,
+    "docker-source-build": 2_400_000_000_000,   # ~3h under cross-arch TCG
+    "pip-grpcio-build": 1_350_000_000_000,      # ~4h under cross-arch TCG
+    "pip-pure-python": 40_000_000_000,
+    "kernel-build": 900_000_000_000,
+}
+
+#: Packages the Ubuntu riscv64 archive did not carry (June 2024, §3.2.2).
+_MISSING_ON_RISCV_APT = {"docker", "containerd", "rootlesskit"}
+
+#: Software with no RISC-V port at all.
+_NO_RISCV_PORT = {"mongodb", "bazel"}
+
+#: Python modules whose riscv64 builds hit the libatomic issue.
+_NEEDS_LIBATOMIC_PRELOAD = {"grpcio", "grpcio-tools"}
+
+
+class ProvisionError(RuntimeError):
+    """A provisioning step failed (often with a documented workaround)."""
+
+
+class ProvisionLog:
+    """What happened, with wall-clock costs."""
+
+    def __init__(self):
+        self.steps: List[Dict] = []
+
+    def add(self, action: str, outcome: str, seconds: float) -> None:
+        self.steps.append({"action": action, "outcome": outcome,
+                           "seconds": seconds})
+
+    def total_seconds(self) -> float:
+        return sum(step["seconds"] for step in self.steps)
+
+    def render(self) -> str:
+        lines = ["provisioning log (%.1f h total)"
+                 % (self.total_seconds() / 3600)]
+        for step in self.steps:
+            lines.append("  %-28s %-12s %8.1f min" % (
+                step["action"], step["outcome"], step["seconds"] / 60))
+        return "\n".join(lines)
+
+
+class Provisioner:
+    """Installs software into a VM the way the platform allows."""
+
+    def __init__(self, vm: QemuVM):
+        self.vm = vm
+        self.log = ProvisionLog()
+        self.installed: Set[str] = set()
+        self.ld_preload: Set[str] = set()
+
+    def _charge(self, job: str) -> float:
+        return self.vm.charge_instructions(_JOB_INSTRUCTIONS[job])
+
+    # -- package manager --------------------------------------------------------
+
+    def apt_install(self, package: str) -> None:
+        """Install from the distro archive — if the arch carries it."""
+        if self.vm.guest_arch == "riscv" and package in _MISSING_ON_RISCV_APT:
+            raise ProvisionError(
+                "E: Unable to locate package %s (not in the riscv64 archive "
+                "as of the thesis's June 2024 snapshot; build from source)"
+                % package
+            )
+        seconds = self._charge("apt-install")
+        self.installed.add(package)
+        self.log.add("apt install %s" % package, "ok", seconds)
+        self.vm.disk.install_package(package)
+
+    # -- source builds -------------------------------------------------------------
+
+    def build_from_source(self, package: str) -> None:
+        """The from-source fallback (Docker's ~3 hour in-VM build)."""
+        if package in _NO_RISCV_PORT and self.vm.guest_arch == "riscv":
+            raise ProvisionError(
+                "%s has no RISC-V port; the thesis could not produce one "
+                "either (%s)" % (package, "§3.3.3" if package == "mongodb"
+                                 else "§3.3.1.2")
+            )
+        seconds = self._charge("docker-source-build")
+        self.installed.add(package)
+        self.log.add("build %s from source" % package, "ok", seconds)
+        self.vm.disk.install_package(package, size_bytes=220 * 1024 * 1024)
+
+    def install_docker(self) -> None:
+        """The §3.2.2 path: apt on x86, from-source on RISC-V."""
+        try:
+            self.apt_install("docker")
+        except ProvisionError:
+            self.log.add("apt install docker", "missing", 0.0)
+            for component in ("docker", "containerd", "rootlesskit"):
+                self.build_from_source(component)
+
+    # -- pip ----------------------------------------------------------------------------
+
+    def preload_libatomic(self) -> None:
+        """The GitHub-issue workaround: LD_PRELOAD=libatomic.so.1."""
+        self.ld_preload.add("libatomic.so.1")
+        self.log.add("export LD_PRELOAD=libatomic.so.1", "ok", 0.0)
+
+    def pip_install(self, module: str) -> None:
+        """pip install — gigantic under TCG for modules that compile C."""
+        job = ("pip-grpcio-build" if module in _NEEDS_LIBATOMIC_PRELOAD
+               else "pip-pure-python")
+        seconds = self._charge(job)
+        self.installed.add(module)
+        self.log.add("pip install %s" % module, "ok", seconds)
+
+    def import_module(self, module: str) -> None:
+        """Importing is where the libatomic problem actually bites."""
+        if module not in self.installed:
+            raise ProvisionError("ModuleNotFoundError: %s" % module)
+        if (self.vm.guest_arch == "riscv"
+                and module in _NEEDS_LIBATOMIC_PRELOAD
+                and "libatomic.so.1" not in self.ld_preload):
+            raise ProvisionError(
+                "ImportError: undefined symbol: atomic-compare-exchange-1 "
+                "(preload libatomic, per the GitHub issue the thesis found)"
+            )
+        self.log.add("import %s" % module, "ok", 0.0)
+
+
+def port_python_function(vm: QemuVM) -> ProvisionLog:
+    """The full §3.3.1.2 journey for one Python function, with workaround."""
+    provisioner = Provisioner(vm)
+    provisioner.install_docker()
+    provisioner.pip_install("grpcio")
+    provisioner.pip_install("grpcio-tools")
+    try:
+        provisioner.import_module("grpcio")
+    except ProvisionError:
+        provisioner.log.add("import grpcio", "undefined symbol", 0.0)
+        provisioner.preload_libatomic()
+        provisioner.import_module("grpcio")
+    return provisioner.log

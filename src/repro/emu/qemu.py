@@ -1,0 +1,200 @@
+"""The QEMU-analog virtual machine.
+
+Functional execution with a wall-clock cost model: instructions retired
+divided by the platform's effective emulation rate.  KVM acceleration
+runs near host speed but only for same-architecture guests; TCG
+emulation of RISC-V on an x86 host runs an order of magnitude slower —
+the reason the thesis's in-VM Docker build took ~3 hours and the pip
+install of grpcio ~4 (§3.2.2, §3.3.1.2), and why Cassandra containers
+took ~17 minutes to boot there (§3.3.3.2).
+
+The VM also times serverless requests functionally, which is how the
+thesis produced the MongoDB-vs-Cassandra comparison (Fig 4.20) after
+MongoDB refused to boot in gem5 (§3.5.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.db.engine import encoded_size
+from repro.emu.bootchain import BootChain
+from repro.emu.disk import DiskImage
+from repro.emu.kernel import BootFailure, KernelImage
+from repro.serverless.faas import InvocationContext, InvocationRecord
+from repro.workloads.builder import (
+    SERVICE_COSTS,
+    _DB_CONNECT_INSTRS,
+    _DEFAULT_SERVICE_COST,
+    _SERIALIZE_INSTRS_PER_BYTE,
+)
+from repro.workloads.function import VSwarmFunction
+
+#: Effective execution rates in millions of instructions per second.
+HOST_MIPS = 2400.0
+KVM_MIPS = 2000.0
+TCG_SAME_ARCH_MIPS = 550.0
+TCG_CROSS_ARCH_MIPS = 95.0
+
+
+class QemuVM:
+    """An emulated machine bound to a kernel, a boot chain and a disk."""
+
+    def __init__(
+        self,
+        guest_arch: str,
+        kernel: KernelImage,
+        disk: DiskImage,
+        bootchain: Optional[BootChain] = None,
+        host_arch: str = "x86",
+        accel: str = "auto",
+    ):
+        if kernel.arch != guest_arch:
+            raise BootFailure(
+                "kernel is %s but guest is %s" % (kernel.arch, guest_arch)
+            )
+        if disk.arch != guest_arch:
+            raise BootFailure("disk is %s but guest is %s" % (disk.arch, guest_arch))
+        self.guest_arch = guest_arch
+        self.host_arch = host_arch
+        self.kernel = kernel
+        self.disk = disk
+        self.bootchain = bootchain or BootChain(kernel)
+        if accel == "auto":
+            accel = "kvm" if guest_arch == host_arch else "tcg"
+        if accel == "kvm" and guest_arch != host_arch:
+            raise BootFailure("KVM requires guest and host architectures to match")
+        self.accel = accel
+        self.booted = False
+        self.wall_seconds = 0.0
+        self._function_locals: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def mips(self) -> float:
+        if self.accel == "kvm":
+            return KVM_MIPS
+        if self.guest_arch == self.host_arch:
+            return TCG_SAME_ARCH_MIPS
+        return TCG_CROSS_ARCH_MIPS
+
+    def charge_instructions(self, instructions: float) -> float:
+        """Advance wall time by the emulated cost; returns seconds."""
+        seconds = instructions / (self.mips * 1e6)
+        self.wall_seconds += seconds
+        return seconds
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def boot(self) -> float:
+        """Boot the guest; returns wall seconds spent."""
+        self.bootchain.validate()
+        # QEMU *can* load modules dynamically, unlike gem5.
+        if not self.kernel.supports_containers(dynamic_loading=True):
+            missing = self.kernel.missing_for_containers(dynamic_loading=True)
+            raise BootFailure(
+                "emergency mode: root mounted read-only, missing %s"
+                % ", ".join(missing)
+            )
+        boot_instructions = 95_000_000 + len(self.disk.enabled_services()) * 12_000_000
+        seconds = self.charge_instructions(boot_instructions)
+        self.booted = True
+        return seconds
+
+    def boot_database_container(self, store) -> float:
+        """Start a datastore container; returns wall seconds.
+
+        Under cross-arch TCG a JVM store takes *much* longer — the ~17
+        minute Cassandra boots the thesis measured versus 30-40 s native.
+        """
+        self._require_booted()
+        profile = store.boot_profile
+        instructions = profile.instructions * (1.35 if profile.jvm else 1.0)
+        return self.charge_instructions(instructions)
+
+    def _require_booted(self) -> None:
+        if not self.booted:
+            raise BootFailure("VM not booted; call boot() first")
+
+    # -- request timing (the Fig 4.20 methodology) -----------------------------------
+
+    def time_request(
+        self,
+        function: VSwarmFunction,
+        payload: Optional[Dict[str, Any]] = None,
+        services: Optional[Dict[str, Any]] = None,
+        cold: bool = False,
+        sequence: int = 1,
+    ) -> float:
+        """Run one request functionally; returns elapsed nanoseconds.
+
+        The handler executes for real against its services; elapsed time
+        is the metered work divided by the VM's execution rate.
+        """
+        self._require_booted()
+        services = services or {}
+        payload = payload or function.default_payload(sequence)
+        record = InvocationRecord(
+            function=function.name,
+            runtime=function.runtime_name,
+            cold=cold,
+            request_bytes=encoded_size(payload),
+            sequence=sequence,
+        )
+        local = self._function_locals.get(function.name)
+        if cold or local is None:
+            local = {}
+            self._function_locals[function.name] = local
+        context = InvocationContext(record, services, local)
+        for service in services.values():
+            if hasattr(service, "take_receipt"):
+                service.take_receipt()
+        record.result = function.handler(payload, context)
+        for name, service in services.items():
+            if hasattr(service, "take_receipt"):
+                record.attach_receipt(name, service.take_receipt())
+        record.response_bytes = encoded_size(record.result)
+
+        instructions = self._request_instructions(function, record, services)
+        seconds = self.charge_instructions(instructions)
+        return seconds * 1e9
+
+    def _request_instructions(self, function: VSwarmFunction,
+                              record: InvocationRecord,
+                              services: Dict[str, Any]) -> float:
+        runtime = function.runtime
+        instructions = float(runtime.request_overhead_instructions)
+        if record.cold:
+            instructions += runtime.init_instructions * function.init_factor
+            if runtime.jit:
+                instructions += runtime.jit_compile_instructions
+            if any(hasattr(service, "boot_profile") for service in services.values()):
+                instructions += _DB_CONNECT_INSTRS
+        for name, receipt in record.receipts.items():
+            costs = SERVICE_COSTS.get(name, _DEFAULT_SERVICE_COST)
+            instructions += (
+                receipt.ops * costs["op"]
+                + receipt.rows_scanned * costs["row_scanned"]
+                + receipt.rows_returned * costs["row_returned"]
+                + receipt.total_bytes() * costs["byte"]
+                + (receipt.index_probes + receipt.structure_misses) * costs["probe"]
+                + receipt.cpu_work * costs["cpu"]
+            )
+        instructions += (record.request_bytes + record.response_bytes) \
+            * _SERIALIZE_INSTRS_PER_BYTE
+        return instructions
+
+    def __repr__(self) -> str:
+        return "QemuVM(%s on %s, %s, %.0f MIPS)" % (
+            self.guest_arch, self.host_arch, self.accel, self.mips,
+        )
+
+
+def make_dev_vm(guest_arch: str, host_arch: str = "x86") -> QemuVM:
+    """The thesis's development platform: Jammy guest, OpenSBI on RISC-V."""
+    from repro.emu.bootchain import OPENSBI
+    from repro.emu.kernel import build_gem5_kernel
+
+    kernel = build_gem5_kernel(guest_arch)
+    disk = DiskImage("dev-%s" % guest_arch, guest_arch)
+    bootchain = BootChain(kernel, OPENSBI if guest_arch == "riscv" else None)
+    return QemuVM(guest_arch, kernel, disk, bootchain, host_arch=host_arch)

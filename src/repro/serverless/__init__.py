@@ -1,0 +1,54 @@
+"""Serverless-computing substrate: containers, engine, FaaS lifecycle, RPC.
+
+This is the containerization/virtualization layer whose performance role
+the thesis emphasises prior RISC-V serverless work ignored (§1.1).  It
+provides:
+
+* :mod:`repro.serverless.container` — images, layers, and a Docker-Hub-like
+  registry with per-architecture availability (no Alpine Python for
+  riscv64, §3.5.1),
+* :mod:`repro.serverless.engine` — the container engine (pull / create /
+  start / stop), including the build-from-source install path Docker
+  required on RISC-V (§3.2.2),
+* :mod:`repro.serverless.faas` — function instances with the
+  dead / waiting / running states and cold / warm / lukewarm semantics of
+  §2.1,
+* :mod:`repro.serverless.rpc` — the gRPC-like request/response layer,
+* :mod:`repro.serverless.loadgen` — the client that drives the
+  10-request experiment protocol from core 0.
+"""
+
+from repro.serverless.container import ContainerImage, ImageLayer, ImageRegistry
+from repro.serverless.engine import Container, ContainerEngine, EngineError
+from repro.serverless.faas import (
+    FaasPlatform,
+    FunctionInstance,
+    FunctionState,
+    InvocationRecord,
+    KeepAlivePolicy,
+)
+from repro.serverless.loadgen import LoadGenerator, RequestLog
+from repro.serverless.metrics import FunctionMetrics, MetricsCollector
+from repro.serverless.rpc import RpcChannel, RpcError, RpcRequest, RpcResponse
+
+__all__ = [
+    "Container",
+    "ContainerEngine",
+    "ContainerImage",
+    "EngineError",
+    "FaasPlatform",
+    "FunctionInstance",
+    "FunctionState",
+    "ImageLayer",
+    "ImageRegistry",
+    "InvocationRecord",
+    "KeepAlivePolicy",
+    "FunctionMetrics",
+    "LoadGenerator",
+    "MetricsCollector",
+    "RequestLog",
+    "RpcChannel",
+    "RpcError",
+    "RpcRequest",
+    "RpcResponse",
+]

@@ -1,0 +1,167 @@
+"""Container engine: the Docker analog.
+
+Runs containers from images, with the lifecycle (created → running →
+stopped) and the platform prerequisites the thesis fought through: the
+engine refuses to start unless the kernel it runs on has the namespace,
+cgroup and overlay features Docker's check-config script verifies
+(§3.2.2, §3.4.2.2) — the exact reason the thesis had to build a custom
+kernel for gem5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.serverless.container import ContainerImage, ImageRegistry
+
+#: Kernel config options Docker's check-config.sh requires (abridged to
+#: the ones that actually broke the thesis's gem5 kernels).
+REQUIRED_KERNEL_FEATURES = (
+    "CONFIG_NAMESPACES",
+    "CONFIG_CGROUPS",
+    "CONFIG_VETH",
+    "CONFIG_BRIDGE",
+    "CONFIG_NETFILTER_XT_MATCH_ADDRTYPE",
+    "CONFIG_OVERLAY_FS",
+)
+
+
+class EngineError(RuntimeError):
+    """Container engine operation failed."""
+
+
+class Container:
+    """One container instance."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, image: ContainerImage, name: Optional[str] = None,
+                 cpu_pin: Optional[int] = None):
+        self.container_id = "c%06d" % next(self._ids)
+        self.image = image
+        self.name = name or "%s-%s" % (image.name, self.container_id)
+        self.cpu_pin = cpu_pin
+        self.state = "created"
+        self.started_count = 0
+
+    @property
+    def running(self) -> bool:
+        return self.state == "running"
+
+    def __repr__(self) -> str:
+        return "Container(%s, %s, %s)" % (self.name, self.image.arch, self.state)
+
+
+class ContainerEngine:
+    """Docker-like engine bound to a host kernel's feature set."""
+
+    def __init__(self, arch: str, kernel_features: Optional[List[str]] = None,
+                 registry: Optional[ImageRegistry] = None,
+                 installed_from_source: bool = False):
+        self.arch = arch
+        self.kernel_features = set(
+            kernel_features if kernel_features is not None else REQUIRED_KERNEL_FEATURES
+        )
+        self.registry = registry or ImageRegistry()
+        #: True on RISC-V, where no packaged Docker existed (§3.2.2).
+        self.installed_from_source = installed_from_source
+        self._local_images: Dict[str, ContainerImage] = {}
+        self._containers: Dict[str, Container] = {}
+        self.version = "25.0.0"  # Table 4.1
+
+    # -- daemon preflight -------------------------------------------------------
+
+    def check_kernel(self) -> List[str]:
+        """Missing kernel features; empty means the daemon can start."""
+        return sorted(set(REQUIRED_KERNEL_FEATURES) - self.kernel_features)
+
+    def ensure_operational(self) -> None:
+        missing = self.check_kernel()
+        if missing:
+            raise EngineError(
+                "cannot start containers: kernel lacks %s (the thesis's "
+                "emergency-mode boots in gem5 trace back to exactly this)"
+                % ", ".join(missing)
+            )
+
+    # -- image management ----------------------------------------------------------
+
+    def pull(self, name: str) -> ContainerImage:
+        """Pull an image for this engine's architecture."""
+        image = self.registry.pull(name, self.arch)
+        self._local_images[name] = image
+        return image
+
+    def load_image(self, image: ContainerImage) -> None:
+        """docker load: install an image built locally."""
+        if image.arch != self.arch:
+            raise EngineError(
+                "exec format error: image %s is %s but engine is %s"
+                % (image.name, image.arch, self.arch)
+            )
+        self._local_images[image.name] = image
+
+    def images(self) -> List[ContainerImage]:
+        return list(self._local_images.values())
+
+    # -- container lifecycle ----------------------------------------------------------
+
+    def create(self, image_name: str, name: Optional[str] = None,
+               cpu_pin: Optional[int] = None) -> Container:
+        self.ensure_operational()
+        image = self._local_images.get(image_name)
+        if image is None:
+            raise EngineError("no such image %r; docker pull it first" % image_name)
+        container = Container(image, name=name, cpu_pin=cpu_pin)
+        self._containers[container.name] = container
+        return container
+
+    def start(self, name: str) -> Container:
+        container = self._container(name)
+        if container.running:
+            raise EngineError("container %r already running" % name)
+        container.state = "running"
+        container.started_count += 1
+        return container
+
+    def stop(self, name: str) -> Container:
+        container = self._container(name)
+        if not container.running:
+            raise EngineError("container %r is not running" % name)
+        container.state = "stopped"
+        return container
+
+    def remove(self, name: str) -> None:
+        container = self._container(name)
+        if container.running:
+            raise EngineError("cannot remove running container %r" % name)
+        del self._containers[name]
+
+    def ps(self, all_states: bool = False) -> List[Container]:
+        return [
+            container for container in self._containers.values()
+            if all_states or container.running
+        ]
+
+    def _container(self, name: str) -> Container:
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise EngineError("no such container %r" % name) from None
+
+    def __repr__(self) -> str:
+        return "ContainerEngine(%s, %d images, %d containers)" % (
+            self.arch, len(self._local_images), len(self._containers),
+        )
+
+
+def install_docker(arch: str) -> ContainerEngine:
+    """Provision an engine the way the thesis had to per platform.
+
+    On x86 the package manager provides Docker.  On RISC-V (as of the
+    thesis's June 2024 snapshot) it does not: the engine, containerd,
+    rootlesskit et al. must be built from source — a ~3 hour affair inside
+    the QEMU VM (§3.2.2).  We record that provenance on the engine.
+    """
+    return ContainerEngine(arch, installed_from_source=(arch == "riscv"))

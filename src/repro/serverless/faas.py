@@ -1,0 +1,290 @@
+"""Function-as-a-Service lifecycle: dead / waiting / running (§2.1).
+
+A deployed function's instance moves between the three states the thesis
+describes: *dead* (no container, no memory — the next invocation is a
+**cold** execution paying the full initialisation path), *waiting*
+(container resident — the next invocation is **warm**), and *running*.
+A keep-alive policy decides when waiting instances are reaped, exactly
+the provider-side trade-off §2.1 discusses.
+
+Invocations return an :class:`InvocationRecord` carrying everything the
+workload trace builders need: whether the run was cold, the request and
+response wire sizes, and the metered :class:`~repro.db.engine.WorkReceipt`
+of every backing service the handler touched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.db.engine import WorkReceipt, encoded_size
+from repro.serverless.engine import ContainerEngine, EngineError
+
+
+class FunctionState:
+    """The three lifecycle states of §2.1."""
+
+    DEAD = "dead"
+    WAITING = "waiting"
+    RUNNING = "running"
+
+
+class InvocationRecord:
+    """Everything observed about one function invocation."""
+
+    def __init__(self, function: str, runtime: str, cold: bool,
+                 request_bytes: int, sequence: int):
+        self.function = function
+        self.runtime = runtime
+        self.cold = cold
+        self.sequence = sequence
+        self.request_bytes = request_bytes
+        self.response_bytes = 0
+        self.result: Any = None
+        self.receipts: Dict[str, WorkReceipt] = {}
+        self.metrics: Dict[str, float] = {}
+        #: Invocation records of downstream functions this handler called
+        #: (chained / multi-function benchmarks).
+        self.children: List["InvocationRecord"] = []
+        #: Set when the handler raised: the platform returns an error
+        #: response instead of crashing (real FaaS returns a 500).
+        self.error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def attach_receipt(self, service: str, receipt: WorkReceipt) -> None:
+        existing = self.receipts.get(service)
+        if existing is None:
+            self.receipts[service] = receipt
+        else:
+            existing.merge(receipt)
+
+    def meter(self, key: str, amount: float = 1) -> None:
+        self.metrics[key] = self.metrics.get(key, 0) + amount
+
+    def total_receipt(self) -> WorkReceipt:
+        combined = WorkReceipt()
+        for receipt in self.receipts.values():
+            combined.merge(receipt)
+        return combined
+
+    def __repr__(self) -> str:
+        return "InvocationRecord(%s #%d, %s)" % (
+            self.function, self.sequence, "cold" if self.cold else "warm",
+        )
+
+
+class InvocationContext:
+    """Passed to handlers so they can meter their work.
+
+    ``local`` is the instance's in-process state: it survives warm
+    invocations and is wiped on cold starts, exactly like module-level
+    globals in a real function container.  Handlers use it for in-process
+    caches, whose emptiness is part of what makes cold requests expensive.
+    """
+
+    def __init__(self, record: InvocationRecord, services: Dict[str, Any],
+                 local: Optional[Dict[str, Any]] = None):
+        self.record = record
+        self._services = services
+        self.local = local if local is not None else {}
+
+    def service(self, name: str):
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(
+                "function %r has no bound service %r (have %s)"
+                % (self.record.function, name, sorted(self._services))
+            ) from None
+
+    def meter(self, key: str, amount: float = 1) -> None:
+        self.record.meter(key, amount)
+
+
+Handler = Callable[[Dict[str, Any], InvocationContext], Any]
+
+
+class KeepAlivePolicy:
+    """Evicts waiting instances: idle timeout plus a warm-pool cap."""
+
+    def __init__(self, idle_timeout: float = 600.0, max_warm: int = 32):
+        if idle_timeout <= 0 or max_warm < 0:
+            raise ValueError("idle_timeout must be > 0 and max_warm >= 0")
+        self.idle_timeout = idle_timeout
+        self.max_warm = max_warm
+
+    def victims(self, instances: List["FunctionInstance"], now: float) -> List["FunctionInstance"]:
+        waiting = [
+            instance for instance in instances
+            if instance.state == FunctionState.WAITING
+        ]
+        victims = [
+            instance for instance in waiting
+            if now - instance.last_used >= self.idle_timeout
+        ]
+        survivors = sorted(
+            (instance for instance in waiting if instance not in victims),
+            key=lambda instance: instance.last_used,
+        )
+        overflow = len(survivors) - self.max_warm
+        if overflow > 0:
+            victims.extend(survivors[:overflow])
+        return victims
+
+
+class FunctionInstance:
+    """A deployed function and its (possibly absent) container."""
+
+    def __init__(self, name: str, image_name: str, runtime: str,
+                 handler: Handler, services: Dict[str, Any]):
+        self.name = name
+        self.image_name = image_name
+        self.runtime = runtime
+        self.handler = handler
+        self.services = services
+        self.state = FunctionState.DEAD
+        self.container_name: Optional[str] = None
+        self.last_used = 0.0
+        self.invocations = 0
+        self.cold_starts = 0
+        self.local: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return "FunctionInstance(%s, %s)" % (self.name, self.state)
+
+
+class FaasPlatform:
+    """The serverless provider: deploys functions, routes invocations."""
+
+    def __init__(self, engine: ContainerEngine,
+                 policy: Optional[KeepAlivePolicy] = None,
+                 server_core: int = 1):
+        self.engine = engine
+        self.policy = policy or KeepAlivePolicy()
+        self.server_core = server_core
+        self.clock = 0.0
+        self._functions: Dict[str, FunctionInstance] = {}
+
+    # -- deployment -------------------------------------------------------------
+
+    def deploy(self, name: str, image_name: str, runtime: str, handler: Handler,
+               services: Optional[Dict[str, Any]] = None) -> FunctionInstance:
+        if name in self._functions:
+            raise ValueError("function %r already deployed" % name)
+        self.engine.pull(image_name)
+        instance = FunctionInstance(name, image_name, runtime, handler, services or {})
+        self._functions[name] = instance
+        return instance
+
+    def function(self, name: str) -> FunctionInstance:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError("no function %r deployed (have %s)"
+                           % (name, sorted(self._functions))) from None
+
+    def functions(self) -> List[FunctionInstance]:
+        return list(self._functions.values())
+
+    # -- invocation --------------------------------------------------------------
+
+    def invoke(self, name: str, payload: Optional[Dict[str, Any]] = None,
+               advance_clock: float = 1.0,
+               raise_errors: bool = True) -> InvocationRecord:
+        """Route one request; cold-starts the instance if it is dead.
+
+        With ``raise_errors=False`` a handler exception becomes an error
+        response on the record (``record.error`` set, ``result`` carrying
+        the message) instead of propagating — the production-FaaS
+        behaviour, where a crashing function returns a 500 and the
+        instance is recycled to the dead state.
+        """
+        instance = self.function(name)
+        payload = payload or {}
+        # ``advance_clock`` is the logical time since the previous platform
+        # activity: it elapses *before* this request arrives, so idle
+        # instances can be reaped first and this invocation correctly
+        # observes a dead instance after a long gap.
+        self.clock += advance_clock
+        self._reap()
+        cold = instance.state == FunctionState.DEAD
+        if cold:
+            instance.local = {}  # in-process state dies with the container
+            self._cold_start(instance)
+        instance.state = FunctionState.RUNNING
+
+        record = InvocationRecord(
+            function=name,
+            runtime=instance.runtime,
+            cold=cold,
+            request_bytes=encoded_size(payload),
+            sequence=instance.invocations + 1,
+        )
+        context = InvocationContext(record, instance.services, instance.local)
+        # Drain any stale metering so the record sees only this request.
+        for service_name, service in instance.services.items():
+            if hasattr(service, "take_receipt"):
+                service.take_receipt()
+        try:
+            record.result = instance.handler(payload, context)
+        except Exception as failure:  # noqa: BLE001 - FaaS error surface
+            if raise_errors:
+                raise
+            record.error = "%s: %s" % (type(failure).__name__, failure)
+            record.result = {"error": record.error}
+        for service_name, service in instance.services.items():
+            if hasattr(service, "take_receipt"):
+                record.attach_receipt(service_name, service.take_receipt())
+        record.response_bytes = encoded_size(record.result)
+
+        instance.invocations += 1
+        if cold:
+            instance.cold_starts += 1
+        instance.last_used = self.clock
+        if record.ok:
+            instance.state = FunctionState.WAITING
+        else:
+            # A crashed container is recycled, not kept warm.
+            self.kill(name)
+        self._reap()  # enforce the warm-pool cap immediately
+        return record
+
+    def _cold_start(self, instance: FunctionInstance) -> None:
+        container_name = "%s-run%d" % (instance.name, instance.cold_starts + 1)
+        try:
+            self.engine.create(instance.image_name, name=container_name,
+                               cpu_pin=self.server_core)
+        except EngineError:
+            # Image evicted or engine rebuilt: pull again and retry once.
+            self.engine.pull(instance.image_name)
+            self.engine.create(instance.image_name, name=container_name,
+                               cpu_pin=self.server_core)
+        self.engine.start(container_name)
+        instance.container_name = container_name
+
+    def _reap(self) -> None:
+        for victim in self.policy.victims(list(self._functions.values()), self.clock):
+            self.kill(victim.name)
+
+    def kill(self, name: str) -> None:
+        """Force an instance to the dead state (provider reclaim)."""
+        instance = self.function(name)
+        if instance.container_name is not None:
+            try:
+                self.engine.stop(instance.container_name)
+                self.engine.remove(instance.container_name)
+            except EngineError:
+                pass  # already stopped
+            instance.container_name = None
+        instance.state = FunctionState.DEAD
+
+    def state_of(self, name: str) -> str:
+        return self.function(name).state
+
+    def __repr__(self) -> str:
+        return "FaasPlatform(%d functions, clock=%.1f)" % (
+            len(self._functions), self.clock,
+        )

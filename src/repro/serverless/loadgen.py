@@ -1,0 +1,134 @@
+"""Load generation: the client side of the experiment (core 0 in Fig 4.3).
+
+The thesis's protocol (Fig 4.1) sends ten requests per function: the
+first hits a dead instance (cold), requests 2–9 warm it, and the tenth is
+the warm measurement.  :class:`LoadGenerator` drives that sequence and
+keeps a :class:`RequestLog` of invocation records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.serverless.faas import FaasPlatform, InvocationRecord
+
+
+class RequestLog:
+    """Ordered record of invocations with cold/warm accessors."""
+
+    def __init__(self):
+        self.records: List[InvocationRecord] = []
+
+    def append(self, record: InvocationRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def cold(self) -> InvocationRecord:
+        for record in self.records:
+            if record.cold:
+                return record
+        raise LookupError("no cold invocation in this log")
+
+    @property
+    def warm(self) -> InvocationRecord:
+        warm_records = [record for record in self.records if not record.cold]
+        if not warm_records:
+            raise LookupError("no warm invocation in this log")
+        return warm_records[-1]
+
+    @property
+    def cold_count(self) -> int:
+        return sum(1 for record in self.records if record.cold)
+
+    @property
+    def cold_rate(self) -> float:
+        return self.cold_count / len(self.records) if self.records else 0.0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for record in self.records if not record.ok)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return "RequestLog(%d records, %d cold)" % (
+            len(self.records), self.cold_count,
+        )
+
+
+class LoadGenerator:
+    """Relay client issuing the 10-request protocol against one function."""
+
+    def __init__(self, platform: FaasPlatform, client_core: int = 0):
+        self.platform = platform
+        self.client_core = client_core
+
+    def run_session(
+        self,
+        function: str,
+        requests: int = 10,
+        payload: Optional[Dict[str, Any]] = None,
+        payload_factory: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ) -> RequestLog:
+        """Issue ``requests`` back-to-back invocations (cold first)."""
+        if requests < 1:
+            raise ValueError("need at least one request")
+        if payload is not None and payload_factory is not None:
+            raise ValueError("pass payload or payload_factory, not both")
+        log = RequestLog()
+        for sequence in range(requests):
+            body = payload_factory(sequence) if payload_factory else (payload or {})
+            log.append(self.platform.invoke(function, body))
+        return log
+
+    def open_loop_session(
+        self,
+        function: str,
+        requests: int,
+        mean_interarrival: float,
+        payload: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+    ) -> RequestLog:
+        """Poisson arrivals: the production traffic shape (§2.1).
+
+        Inter-arrival gaps draw from an exponential distribution and
+        advance the platform's logical clock, so sparse traffic lets the
+        keep-alive policy reap the instance between requests — the
+        mechanism behind real-world cold-start rates (the Azure-trace
+        observation the related work measures).
+        """
+        if requests < 1:
+            raise ValueError("need at least one request")
+        if mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        import random
+
+        rng = random.Random(seed)
+        log = RequestLog()
+        for _ in range(requests):
+            gap = rng.expovariate(1.0 / mean_interarrival)
+            log.append(self.platform.invoke(function, payload or {},
+                                            advance_clock=gap))
+        return log
+
+    def interleaved_session(
+        self,
+        functions: List[str],
+        rounds: int = 4,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, RequestLog]:
+        """Round-robin over several functions — the lukewarm scenario.
+
+        Interleaving means each function's requests are separated by other
+        functions' executions, which on the simulator thrashes the shared
+        microarchitectural state (§2.1's lukewarm effect).
+        """
+        logs = {function: RequestLog() for function in functions}
+        for _round in range(rounds):
+            for function in functions:
+                logs[function].append(self.platform.invoke(function, payload or {}))
+        return logs

@@ -1,0 +1,104 @@
+"""Platform metrics: what an operator dashboard would show.
+
+Aggregates invocation records and end-to-end samples into the metrics
+serverless operators actually watch — cold-start rates per function,
+latency percentiles, error rates — rendered as a compact report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (fraction in [0, 1])."""
+    if not values:
+        raise ValueError("no samples")
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class FunctionMetrics:
+    """Aggregate view over one function's invocation records."""
+
+    def __init__(self, function: str):
+        self.function = function
+        self.invocations = 0
+        self.cold_starts = 0
+        self.errors = 0
+        self.latencies: List[float] = []
+
+    def observe(self, record, latency: Optional[float] = None) -> None:
+        self.invocations += 1
+        self.cold_starts += bool(record.cold)
+        self.errors += not record.ok
+        if latency is not None:
+            self.latencies.append(latency)
+
+    @property
+    def cold_rate(self) -> float:
+        return self.cold_starts / self.invocations if self.invocations else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.invocations if self.invocations else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        return percentile(self.latencies, fraction)
+
+    def __repr__(self) -> str:
+        return "FunctionMetrics(%s: %d invocations, %.0f%% cold)" % (
+            self.function, self.invocations, self.cold_rate * 100,
+        )
+
+
+class MetricsCollector:
+    """Collects records across functions and renders the dashboard."""
+
+    def __init__(self):
+        self._functions: Dict[str, FunctionMetrics] = {}
+
+    def observe(self, record, latency: Optional[float] = None) -> None:
+        metrics = self._functions.setdefault(record.function,
+                                             FunctionMetrics(record.function))
+        metrics.observe(record, latency)
+
+    def observe_all(self, records: Iterable, latencies: Optional[Sequence[float]] = None) -> None:
+        records = list(records)
+        if latencies is not None and len(latencies) != len(records):
+            raise ValueError("latencies must align with records")
+        for index, record in enumerate(records):
+            self.observe(record,
+                         latencies[index] if latencies is not None else None)
+
+    def function(self, name: str) -> FunctionMetrics:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError("no metrics for %r" % name) from None
+
+    def functions(self) -> List[str]:
+        return sorted(self._functions)
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(metrics.invocations for metrics in self._functions.values())
+
+    def render(self) -> str:
+        lines = ["%-30s %8s %7s %7s %10s %10s" % (
+            "function", "invokes", "cold%", "err%", "p50", "p99")]
+        for name in self.functions():
+            metrics = self._functions[name]
+            if metrics.latencies:
+                p50 = "%.0f" % metrics.latency_percentile(0.50)
+                p99 = "%.0f" % metrics.latency_percentile(0.99)
+            else:
+                p50 = p99 = "-"
+            lines.append("%-30s %8d %6.1f%% %6.1f%% %10s %10s" % (
+                name, metrics.invocations, metrics.cold_rate * 100,
+                metrics.error_rate * 100, p50, p99))
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""gRPC-like request/response layer.
+
+Every vSwarm function sits behind an RPC server; the client performs
+requests and the measured interval is request-to-reply (§4.1.2.3).  The
+channel meters marshalling work (wire bytes both ways) so the workload
+models can charge serialization instructions proportional to real payload
+sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.db.engine import encoded_size
+
+
+class RpcError(RuntimeError):
+    """Remote call failed (unknown method, handler raised, bad payload)."""
+
+
+class RpcRequest:
+    """One marshalled request."""
+
+    __slots__ = ("method", "payload", "wire_bytes")
+
+    def __init__(self, method: str, payload: Optional[Dict[str, Any]] = None):
+        self.method = method
+        self.payload = payload or {}
+        self.wire_bytes = encoded_size({"method": method, "payload": self.payload})
+
+    def __repr__(self) -> str:
+        return "RpcRequest(%s, %dB)" % (self.method, self.wire_bytes)
+
+
+class RpcResponse:
+    """One marshalled response."""
+
+    __slots__ = ("payload", "status", "wire_bytes")
+
+    def __init__(self, payload: Any, status: str = "OK"):
+        self.payload = payload
+        self.status = status
+        self.wire_bytes = encoded_size({"status": status, "payload": payload})
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "OK"
+
+    def __repr__(self) -> str:
+        return "RpcResponse(%s, %dB)" % (self.status, self.wire_bytes)
+
+
+class RpcChannel:
+    """A point-to-point channel with registered service methods."""
+
+    def __init__(self, name: str = "channel"):
+        self.name = name
+        self._methods: Dict[str, Callable[[Dict[str, Any]], Any]] = {}
+        self.requests_served = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def register(self, method: str, handler: Callable[[Dict[str, Any]], Any]) -> None:
+        if method in self._methods:
+            raise ValueError("method %r already registered on %s" % (method, self.name))
+        self._methods[method] = handler
+
+    def call(self, method: str, payload: Optional[Dict[str, Any]] = None) -> RpcResponse:
+        request = RpcRequest(method, payload)
+        self.bytes_in += request.wire_bytes
+        handler = self._methods.get(method)
+        if handler is None:
+            raise RpcError("UNIMPLEMENTED: no method %r on %s" % (method, self.name))
+        try:
+            result = handler(request.payload)
+        except RpcError:
+            raise
+        except Exception as error:  # noqa: BLE001 - surface as RPC status
+            response = RpcResponse({"error": str(error)}, status="INTERNAL")
+            self.bytes_out += response.wire_bytes
+            return response
+        response = RpcResponse(result)
+        self.requests_served += 1
+        self.bytes_out += response.wire_bytes
+        return response
+
+    def methods(self):
+        return sorted(self._methods)
+
+    def __repr__(self) -> str:
+        return "RpcChannel(%s, %d methods, %d served)" % (
+            self.name, len(self._methods), self.requests_served,
+        )

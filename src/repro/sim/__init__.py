@@ -1,0 +1,38 @@
+"""gem5-analog microarchitectural simulation substrate.
+
+This package provides the discrete-event simulation kernel, ISA models,
+memory hierarchy, CPU timing models, multicore system container, and
+checkpoint support that the benchmarking harness (:mod:`repro.core`) drives.
+
+The design mirrors the pieces of gem5 the thesis relies on:
+
+* an event queue and tick-based time base (:mod:`repro.sim.eventq`,
+  :mod:`repro.sim.ticks`),
+* a statistics framework with reset/dump semantics, standing in for the
+  "m5 magic instructions" (:mod:`repro.sim.statistics`),
+* instruction-set models for RISC-V and x86 plus the workload IR they lower
+  from (:mod:`repro.sim.isa`),
+* a cache/TLB/DRAM memory system (:mod:`repro.sim.mem`),
+* Atomic, out-of-order (O3) and KVM-style CPU models (:mod:`repro.sim.cpu`),
+* the simulated multicore system and checkpointing
+  (:mod:`repro.sim.system`, :mod:`repro.sim.checkpoint`).
+"""
+
+from repro.sim.eventq import Event, EventQueue
+from repro.sim.statistics import Formula, Histogram, Scalar, StatGroup, Vector
+from repro.sim.system import SimulatedSystem
+from repro.sim.ticks import ClockDomain, Frequency, TICKS_PER_SECOND
+
+__all__ = [
+    "ClockDomain",
+    "Event",
+    "EventQueue",
+    "Formula",
+    "Frequency",
+    "Histogram",
+    "Scalar",
+    "SimulatedSystem",
+    "StatGroup",
+    "TICKS_PER_SECOND",
+    "Vector",
+]

@@ -1,0 +1,105 @@
+"""Checkpoints: snapshots of simulation state (§2.4.3).
+
+A checkpoint captures the microarchitectural state of a
+:class:`~repro.sim.system.SimulatedSystem` plus an arbitrary software
+payload (the harness stores the serverless platform's state there: which
+containers are running, which functions are warm).  Checkpoints can be
+kept in memory or saved to disk, and restoring one is how evaluation mode
+"boots again from checkpoint with the O3 detailed core" (§3.4.1, step 5d).
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+class Checkpoint:
+    """One snapshot: system state + software payload + metadata."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, system_state: Dict, payload: Any = None, label: str = "ckpt"):
+        self.version = self.FORMAT_VERSION
+        self.system_state = system_state
+        self.payload = payload
+        self.label = label
+
+    def save(self, path) -> Path:
+        """Serialize to disk (the m5 checkpoint directory analog)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return target
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, cls):
+            raise TypeError("%s does not contain a Checkpoint" % path)
+        if checkpoint.version != cls.FORMAT_VERSION:
+            raise ValueError(
+                "checkpoint format %d not supported (expected %d)"
+                % (checkpoint.version, cls.FORMAT_VERSION)
+            )
+        return checkpoint
+
+    def __repr__(self) -> str:
+        return "Checkpoint(%s)" % self.label
+
+
+def take_checkpoint(system, payload: Any = None, label: str = "ckpt") -> Checkpoint:
+    """Snapshot a system (deep-copied, so later simulation can't mutate it)."""
+    return Checkpoint(
+        system_state=copy.deepcopy(system.state_dict()),
+        payload=copy.deepcopy(payload),
+        label=label,
+    )
+
+
+def restore_checkpoint(system, checkpoint: Checkpoint) -> Any:
+    """Restore system state from a checkpoint; returns the payload copy."""
+    system.load_state(copy.deepcopy(checkpoint.system_state))
+    return copy.deepcopy(checkpoint.payload)
+
+
+class CheckpointStore:
+    """A named collection of checkpoints, optionally disk-backed."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self._memory: Dict[str, Checkpoint] = {}
+        self._directory = Path(directory) if directory else None
+
+    def put(self, name: str, checkpoint: Checkpoint) -> None:
+        self._memory[name] = checkpoint
+        if self._directory is not None:
+            checkpoint.save(self._directory / ("%s.ckpt" % name))
+
+    def get(self, name: str) -> Checkpoint:
+        if name in self._memory:
+            return self._memory[name]
+        if self._directory is not None:
+            path = self._directory / ("%s.ckpt" % name)
+            if path.exists():
+                checkpoint = Checkpoint.load(path)
+                self._memory[name] = checkpoint
+                return checkpoint
+        raise KeyError("no checkpoint named %r" % name)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.get(name)
+        except KeyError:
+            return False
+        return True
+
+    def names(self):
+        found = set(self._memory)
+        if self._directory is not None and self._directory.exists():
+            for path in self._directory.glob("*.ckpt"):
+                found.add(path.stem)
+        return sorted(found)

@@ -1,0 +1,30 @@
+"""CPU timing models: Atomic, out-of-order (O3), and KVM-style.
+
+These mirror the three gem5 CPU models the thesis uses (§2.4.2):
+
+* :class:`~repro.sim.cpu.atomic.AtomicCpu` — instantaneous memory, no
+  pipeline; used for setup mode (booting and functional warming).
+* :class:`~repro.sim.cpu.o3.O3Cpu` — detailed out-of-order model (ROB,
+  LSQ, rename registers, tournament branch predictor, width-limited
+  fetch/issue/commit); used for the measured regions of interest.
+* :class:`~repro.sim.cpu.kvm.KvmCpu` — host-speed functional model that
+  reproduces the instability the thesis hit (freezes on m5 ops), which is
+  why the harness defaults to Atomic for setup, as the thesis did.
+"""
+
+from repro.sim.cpu.atomic import AtomicCpu
+from repro.sim.cpu.base import BaseCpu, RunResult
+from repro.sim.cpu.bpred import TournamentPredictor
+from repro.sim.cpu.kvm import KvmCpu, KvmInstabilityError
+from repro.sim.cpu.o3 import O3Config, O3Cpu
+
+__all__ = [
+    "AtomicCpu",
+    "BaseCpu",
+    "KvmCpu",
+    "KvmInstabilityError",
+    "O3Config",
+    "O3Cpu",
+    "RunResult",
+    "TournamentPredictor",
+]

@@ -1,0 +1,267 @@
+"""Tournament branch predictor (local + gshare + chooser) with a BTB.
+
+The structure follows the classic Alpha 21264 scheme the gem5 O3 model is
+loosely based on, which is also the microarchitecture the thesis's O3
+configuration descends from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.statistics import StatGroup
+
+
+class TwoBitCounterTable:
+    """A table of saturating 2-bit counters, initialised weakly-taken."""
+
+    __slots__ = ("mask", "counters")
+
+    def __init__(self, entries: int):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("table entries must be a positive power of two")
+        self.mask = entries - 1
+        self.counters = bytearray([2] * entries)  # 2 = weakly taken
+
+    def predict(self, index: int) -> bool:
+        return self.counters[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        slot = index & self.mask
+        value = self.counters[slot]
+        if taken:
+            if value < 3:
+                self.counters[slot] = value + 1
+        else:
+            if value > 0:
+                self.counters[slot] = value - 1
+
+    def state_dict(self) -> bytes:
+        return bytes(self.counters)
+
+    def load_state(self, state: bytes) -> None:
+        self.counters = bytearray(state)
+
+
+class BasePredictor:
+    """Interface every direction predictor implements."""
+
+    kind = "base"
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict:
+        raise NotImplementedError
+
+    def load_state(self, state: Dict) -> None:
+        raise NotImplementedError
+
+
+class StaticTakenPredictor(BasePredictor):
+    """Predict taken, always — the baseline a real predictor must beat."""
+
+    kind = "static-taken"
+
+    def __init__(self, stats_parent: Optional[StatGroup] = None):
+        stats = (stats_parent or StatGroup("orphan")).group("bpred")
+        self.stat_lookups = stats.scalar("lookups", "branches predicted")
+        self.stat_mispredicts = stats.scalar("mispredicts", "mispredictions")
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        self.stat_lookups.inc()
+        if not taken:
+            self.stat_mispredicts.inc()
+        return taken
+
+    def flush(self) -> None:
+        pass
+
+    def state_dict(self) -> Dict:
+        return {}
+
+    def load_state(self, state: Dict) -> None:
+        pass
+
+
+class BimodalPredictor(BasePredictor):
+    """Per-PC 2-bit counters: the classic table predictor."""
+
+    kind = "bimodal"
+
+    def __init__(self, entries: int = 4096,
+                 stats_parent: Optional[StatGroup] = None):
+        self.table = TwoBitCounterTable(entries)
+        stats = (stats_parent or StatGroup("orphan")).group("bpred")
+        self.stat_lookups = stats.scalar("lookups", "branches predicted")
+        self.stat_mispredicts = stats.scalar("mispredicts", "mispredictions")
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        self.stat_lookups.inc()
+        index = pc >> 1
+        correct = self.table.predict(index) == taken
+        if not correct:
+            self.stat_mispredicts.inc()
+        self.table.update(index, taken)
+        return correct
+
+    def flush(self) -> None:
+        self.table = TwoBitCounterTable(self.table.mask + 1)
+
+    def state_dict(self) -> Dict:
+        return {"table": self.table.state_dict()}
+
+    def load_state(self, state: Dict) -> None:
+        self.table.load_state(state["table"])
+
+
+class GSharePredictor(BasePredictor):
+    """Global-history xor-indexed 2-bit counters."""
+
+    kind = "gshare"
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12,
+                 stats_parent: Optional[StatGroup] = None):
+        self.table = TwoBitCounterTable(entries)
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        stats = (stats_parent or StatGroup("orphan")).group("bpred")
+        self.stat_lookups = stats.scalar("lookups", "branches predicted")
+        self.stat_mispredicts = stats.scalar("mispredicts", "mispredictions")
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        self.stat_lookups.inc()
+        index = (pc >> 1) ^ self.history
+        correct = self.table.predict(index) == taken
+        if not correct:
+            self.stat_mispredicts.inc()
+        self.table.update(index, taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & self.history_mask
+        return correct
+
+    def flush(self) -> None:
+        self.table = TwoBitCounterTable(self.table.mask + 1)
+        self.history = 0
+
+    def state_dict(self) -> Dict:
+        return {"table": self.table.state_dict(), "history": self.history}
+
+    def load_state(self, state: Dict) -> None:
+        self.table.load_state(state["table"])
+        self.history = state["history"]
+
+
+class TournamentPredictor(BasePredictor):
+    """Local/gshare tournament predictor with a direct-mapped BTB."""
+
+    kind = "tournament"
+
+    def __init__(
+        self,
+        local_entries: int = 2048,
+        global_entries: int = 8192,
+        chooser_entries: int = 8192,
+        history_bits: int = 12,
+        btb_entries: int = 4096,
+        stats_parent: Optional[StatGroup] = None,
+    ):
+        self.local = TwoBitCounterTable(local_entries)
+        self.gshare = TwoBitCounterTable(global_entries)
+        self.chooser = TwoBitCounterTable(chooser_entries)
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self.btb_mask = btb_entries - 1
+        self.btb: Dict[int, int] = {}
+
+        stats = (stats_parent or StatGroup("orphan")).group("bpred")
+        self.stat_lookups = stats.scalar("lookups", "conditional branches predicted")
+        self.stat_mispredicts = stats.scalar("mispredicts", "direction mispredictions")
+        self.stat_btb_misses = stats.scalar("btbMisses", "taken branches missing a BTB target")
+        stats.formula(
+            "mispredictRate",
+            lambda: (self.stat_mispredicts.value() / self.stat_lookups.value())
+            if self.stat_lookups.value()
+            else 0.0,
+        )
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """One lookup-then-train step; returns True if prediction correct.
+
+        The trace already carries the actual outcome, so prediction and
+        training collapse into one call.
+        """
+        self.stat_lookups.inc()
+        pc_index = pc >> 1
+        global_index = (pc_index ^ self.history) & self.history_mask | (self.history << 1)
+        local_prediction = self.local.predict(pc_index)
+        global_prediction = self.gshare.predict(global_index)
+        use_global = self.chooser.predict(self.history)
+        prediction = global_prediction if use_global else local_prediction
+
+        correct = prediction == taken
+        if not correct:
+            self.stat_mispredicts.inc()
+
+        # Train chooser towards whichever component was right.
+        if local_prediction != global_prediction:
+            self.chooser.update(self.history, global_prediction == taken)
+        self.local.update(pc_index, taken)
+        self.gshare.update(global_index, taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self.history_mask
+
+        if taken:
+            slot = pc_index & self.btb_mask
+            if self.btb.get(slot) != pc:
+                self.stat_btb_misses.inc()
+                self.btb[slot] = pc
+                return False  # treat as a front-end redirect
+        return correct
+
+    def flush(self) -> None:
+        """Cold predictor state (new process / thrashed microarch state)."""
+        self.local = TwoBitCounterTable(self.local.mask + 1)
+        self.gshare = TwoBitCounterTable(self.gshare.mask + 1)
+        self.chooser = TwoBitCounterTable(self.chooser.mask + 1)
+        self.history = 0
+        self.btb.clear()
+
+    def state_dict(self) -> Dict:
+        return {
+            "local": self.local.state_dict(),
+            "gshare": self.gshare.state_dict(),
+            "chooser": self.chooser.state_dict(),
+            "history": self.history,
+            "btb": dict(self.btb),
+        }
+
+    def load_state(self, state: Dict) -> None:
+        self.local.load_state(state["local"])
+        self.gshare.load_state(state["gshare"])
+        self.chooser.load_state(state["chooser"])
+        self.history = state["history"]
+        self.btb = dict(state["btb"])
+
+
+#: Predictor registry: the branch-predictor axis of the thesis's §6
+#: design-space wishlist.
+PREDICTORS = {
+    "tournament": TournamentPredictor,
+    "gshare": GSharePredictor,
+    "bimodal": BimodalPredictor,
+    "static-taken": StaticTakenPredictor,
+}
+
+
+def make_predictor(kind: str,
+                   stats_parent: Optional[StatGroup] = None) -> BasePredictor:
+    """Instantiate a branch predictor by name."""
+    try:
+        cls = PREDICTORS[kind]
+    except KeyError:
+        raise ValueError("unknown predictor %r; have %s"
+                         % (kind, sorted(PREDICTORS))) from None
+    return cls(stats_parent=stats_parent)

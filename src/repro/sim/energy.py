@@ -1,0 +1,116 @@
+"""Event-count energy model.
+
+The thesis's motivation leans on the ISA-wars literature: "different ISAs
+offer different trade-offs with respect to performance, power, and energy
+efficiency" (§1.1, citing Blem et al.).  This model turns a measurement's
+event counts into energy estimates — per-instruction base energy, cache
+access/miss energies, DRAM access energy, plus static power over the
+runtime — so the RISC-V/x86 comparison extends to the axis the thesis
+motivates but does not measure.
+
+Coefficients are order-of-magnitude figures for a small server-class core
+at 1 GHz (nJ per event, mW static).  As with timing, absolute joules are
+not the claim; ISA-relative shapes are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Energy coefficients in nanojoules per event.
+DEFAULT_COEFFICIENTS = {
+    "instruction": 0.08,        # base pipeline energy per committed inst
+    "l1_access": 0.05,
+    "l1_miss": 0.20,            # tag recheck + fill into L1
+    "l2_access": 0.35,
+    "l2_miss": 0.50,
+    "dram_access": 15.0,
+    "branch_mispredict": 0.8,   # squashed work
+}
+
+#: Static (leakage + uncore) power in watts at the 1 GHz operating point.
+DEFAULT_STATIC_WATTS = 0.35
+
+CYCLES_PER_SECOND = 1_000_000_000  # Table 4.1's 1 GHz clock
+
+
+class EnergyEstimate:
+    """Energy breakdown for one measured request."""
+
+    def __init__(self, dynamic_nj: Dict[str, float], static_nj: float,
+                 cycles: int, instructions: int):
+        self.dynamic_nj = dynamic_nj
+        self.static_nj = static_nj
+        self.cycles = cycles
+        self.instructions = instructions
+
+    @property
+    def dynamic_total_nj(self) -> float:
+        return sum(self.dynamic_nj.values())
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_total_nj + self.static_nj
+
+    @property
+    def nj_per_instruction(self) -> float:
+        return self.total_nj / self.instructions if self.instructions else 0.0
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (nJ x cycles), the efficiency metric the
+        ISA-wars comparisons report."""
+        return self.total_nj * self.cycles
+
+    def render(self) -> str:
+        lines = ["energy estimate: %.1f nJ total (%.1f dynamic + %.1f static)"
+                 % (self.total_nj, self.dynamic_total_nj, self.static_nj)]
+        for source, amount in sorted(self.dynamic_nj.items(),
+                                     key=lambda item: -item[1]):
+            lines.append("  %-18s %10.1f nJ" % (source, amount))
+        lines.append("  %-18s %10.4f nJ/inst" % ("intensity",
+                                                 self.nj_per_instruction))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "EnergyEstimate(%.1f nJ, EDP=%.0f)" % (self.total_nj, self.edp)
+
+
+class EnergyModel:
+    """Applies coefficients to RequestStats-shaped event counts."""
+
+    def __init__(self, coefficients: Dict[str, float] = None,
+                 static_watts: float = DEFAULT_STATIC_WATTS):
+        self.coefficients = dict(coefficients or DEFAULT_COEFFICIENTS)
+        missing = set(DEFAULT_COEFFICIENTS) - set(self.coefficients)
+        if missing:
+            raise ValueError("missing coefficients: %s" % sorted(missing))
+        if static_watts < 0:
+            raise ValueError("static power cannot be negative")
+        self.static_watts = static_watts
+
+    def estimate(self, stats) -> EnergyEstimate:
+        """Estimate energy for one RequestStats measurement."""
+        c = self.coefficients
+        l1_accesses = stats.l1i_accesses + stats.l1d_accesses
+        l1_misses = stats.l1i_misses + stats.l1d_misses
+        dynamic = {
+            "pipeline": stats.instructions * c["instruction"],
+            "l1": (l1_accesses * c["l1_access"] + l1_misses * c["l1_miss"]),
+            "l2": (stats.l2_accesses * c["l2_access"]
+                   + stats.l2_misses * c["l2_miss"]),
+            "dram": stats.l2_misses * c["dram_access"],
+            "bpred": stats.branch_mispredicts * c["branch_mispredict"],
+        }
+        seconds = stats.cycles / CYCLES_PER_SECOND
+        static_nj = self.static_watts * seconds * 1e9
+        return EnergyEstimate(dynamic, static_nj, stats.cycles,
+                              stats.instructions)
+
+    def compare(self, measurements: Dict[str, object],
+                mode: str = "cold") -> Dict[str, EnergyEstimate]:
+        """Energy estimates for a measurement batch (per platform/function)."""
+        return {
+            name: self.estimate(getattr(measurement, mode))
+            for name, measurement in measurements.items()
+        }

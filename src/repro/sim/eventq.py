@@ -1,0 +1,161 @@
+"""Discrete-event simulation kernel.
+
+The event queue is the heart of the simulator, exactly as in gem5: every
+timed behaviour — an RPC message arriving at the server core, a container
+finishing its boot, a checkpoint trigger — is an :class:`Event` scheduled at
+an absolute tick.  Events at the same tick are ordered by priority and then
+by insertion order, which keeps simulation runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+#: Default event priority.  Lower values run first within a tick.
+DEFAULT_PRIORITY = 50
+#: Priority used by simulator-control events (stat dump, checkpoint, exit).
+CONTROL_PRIORITY = 0
+
+
+class Event:
+    """A callback scheduled at an absolute simulated tick."""
+
+    __slots__ = ("when", "priority", "callback", "name", "_cancelled", "_seq")
+
+    def __init__(
+        self,
+        when: int,
+        callback: Callable[[], None],
+        name: str = "event",
+        priority: int = DEFAULT_PRIORITY,
+    ):
+        if when < 0:
+            raise ValueError("cannot schedule event in negative time: %d" % when)
+        self.when = when
+        self.priority = priority
+        self.callback = callback
+        self.name = name
+        self._cancelled = False
+        self._seq = -1  # assigned by the queue at schedule time
+
+    def cancel(self) -> None:
+        """Deschedule the event; it will be skipped when popped."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self._cancelled else ""
+        return "Event(%s @ %d prio=%d%s)" % (self.name, self.when, self.priority, state)
+
+
+class SimulationExit(Exception):
+    """Raised inside an event callback to stop the simulation loop.
+
+    This is the analog of gem5's ``m5.exit()`` / exit events: the simulate
+    loop returns normally with ``exit_cause`` set to the message.
+    """
+
+    def __init__(self, cause: str = "exit requested"):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventQueue:
+    """A deterministic priority queue of simulation events."""
+
+    def __init__(self):
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._next_seq = 0
+        self.now = 0
+        self.exit_cause: Optional[str] = None
+        self.events_run = 0
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        name: str = "event",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError("negative delay: %d" % delay)
+        event = Event(self.now + delay, callback, name=name, priority=priority)
+        self._push(event)
+        return event
+
+    def schedule_at(
+        self,
+        when: int,
+        callback: Callable[[], None],
+        name: str = "event",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` at the absolute tick ``when``."""
+        if when < self.now:
+            raise ValueError(
+                "cannot schedule in the past (now=%d, when=%d)" % (self.now, when)
+            )
+        event = Event(when, callback, name=name, priority=priority)
+        self._push(event)
+        return event
+
+    def _push(self, event: Event) -> None:
+        event._seq = self._next_seq
+        self._next_seq += 1
+        heapq.heappush(self._heap, (event.when, event.priority, event._seq, event))
+
+    def __len__(self) -> int:
+        return sum(1 for *_rest, event in self._heap if not event.cancelled)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def peek_next_tick(self) -> Optional[int]:
+        """Tick of the next pending (non-cancelled) event, or None."""
+        for when, *_rest, event in sorted(self._heap):
+            if not event.cancelled:
+                return when
+        return None
+
+    def simulate(self, until: Optional[int] = None, max_events: Optional[int] = None) -> str:
+        """Run events until the queue drains, ``until`` is reached, or an
+        event raises :class:`SimulationExit`.
+
+        Returns the exit cause string.  Time (:attr:`now`) is left at the
+        tick of the last executed event, or at ``until`` if the horizon was
+        hit first.
+        """
+        executed = 0
+        while self._heap:
+            when, _prio, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                self.exit_cause = "simulation horizon reached"
+                return self.exit_cause
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = when
+            try:
+                event.callback()
+            except SimulationExit as exit_request:
+                self.exit_cause = exit_request.cause
+                return self.exit_cause
+            self.events_run += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                self.exit_cause = "event budget exhausted"
+                return self.exit_cause
+        if until is not None:
+            self.now = until
+        self.exit_cause = "event queue drained"
+        return self.exit_cause
+
+    def __repr__(self) -> str:
+        return "EventQueue(now=%d, pending=%d)" % (self.now, len(self))

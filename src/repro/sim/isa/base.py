@@ -1,0 +1,421 @@
+"""ISA model base: instruction classes, static instructions, assembler.
+
+Assembly lowers an IR :class:`~repro.sim.isa.ir.Program` into an
+:class:`~repro.sim.isa.trace.AssembledProgram`: every block becomes a list
+of :class:`StaticInstr` with concrete program counters, byte sizes, and
+register operands wired into dependence chains.  The per-ISA subclasses
+only provide the lowering tables (expansion factors, instruction sizes,
+stack-path multipliers); the structural work is shared here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.isa import ir
+
+# ---------------------------------------------------------------------------
+# Instruction classes (small ints for speed in the timing models)
+# ---------------------------------------------------------------------------
+
+
+class InstrClass:
+    """Integer instruction-class codes shared by all ISAs."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FALU = 3
+    FMUL = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    CALL = 9
+    RET = 10
+    SYSCALL = 11
+    CSR = 12
+    NOP = 13
+
+    NAMES = [
+        "ialu", "imul", "idiv", "falu", "fmul", "fdiv",
+        "load", "store", "branch", "call", "ret", "syscall", "csr", "nop",
+    ]
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        return cls.NAMES[code]
+
+
+#: Block kinds (mirrored from the IR for import convenience).
+#: app    — code the developer wrote (compiled handler logic);
+#: stack  — runtime/library/OS paths where the thesis measured the x86
+#:          software stack executing far more instructions than RISC-V;
+#: rtpath — the steady-state per-request path (gRPC server loop, kernel
+#:          net stack) whose dynamic length is close across ISAs: the
+#:          measured x86 excess concentrates on init/library paths.
+BLOCK_APP = "app"
+BLOCK_STACK = "stack"
+BLOCK_RTPATH = "rtpath"
+
+_COMPUTE_CLASS = {
+    ir.OP_IALU: InstrClass.IALU,
+    ir.OP_IMUL: InstrClass.IMUL,
+    ir.OP_IDIV: InstrClass.IDIV,
+    ir.OP_FALU: InstrClass.FALU,
+    ir.OP_FMUL: InstrClass.FMUL,
+    ir.OP_FDIV: InstrClass.FDIV,
+}
+
+#: Register file layout used when wiring dependence chains.  Register 0 is
+#: the always-ready zero/constant register; integer chain registers start at
+#: 1; floating-point chains live in a disjoint range.
+ZERO_REG = 0
+INT_CHAIN_BASE = 1
+FP_CHAIN_BASE = 64
+ADDR_REG = 32  # holds base addresses; written rarely, read by memory ops
+NUM_ARCH_REGS = 128
+
+
+class StaticInstr:
+    """One assembled instruction at a fixed program counter.
+
+    ``repeat`` folds tight inner-loop work: the trace generator re-issues
+    the instruction ``repeat`` times dynamically (fresh addresses each time)
+    without advancing the PC, modelling a hardware-visible micro-loop while
+    keeping the instruction footprint honest.
+    """
+
+    __slots__ = (
+        "pc", "size", "icls", "srcs", "dst", "repeat",
+        "region", "pattern", "taken_probability", "is_mem", "target_pc",
+        "rotate",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        size: int,
+        icls: int,
+        srcs: Tuple[int, ...],
+        dst: int,
+        repeat: int = 1,
+        region: Optional[ir.Region] = None,
+        pattern: Optional[ir.AddressPattern] = None,
+        taken_probability: float = 1.0,
+        target_pc: int = 0,
+        rotate: Tuple[int, ...] = (),
+    ):
+        self.pc = pc
+        self.size = size
+        self.icls = icls
+        self.srcs = srcs
+        self.dst = dst
+        self.repeat = repeat
+        self.region = region
+        self.pattern = pattern
+        self.taken_probability = taken_probability
+        self.is_mem = icls in (InstrClass.LOAD, InstrClass.STORE)
+        self.target_pc = target_pc
+        # For repeated (micro-looped) instructions: the chain registers the
+        # dynamic instances cycle through.  This models the register renaming
+        # that lets unrolled iterations of independent chains overlap; the O3
+        # model resolves the per-instance register at issue time.
+        self.rotate = rotate
+
+    def __repr__(self) -> str:
+        extra = " x%d" % self.repeat if self.repeat != 1 else ""
+        return "StaticInstr(0x%x %s%s)" % (self.pc, InstrClass.name(self.icls), extra)
+
+
+class AssembledBlock:
+    """A lowered IR block: static instructions plus dependency metadata."""
+
+    __slots__ = ("instrs", "kind")
+
+    def __init__(self, instrs: List[StaticInstr], kind: str):
+        self.instrs = instrs
+        self.kind = kind
+
+
+class AssembledLoop:
+    """A lowered loop: body, trip count, and its backedge branch."""
+
+    __slots__ = ("body", "trips", "backedge")
+
+    def __init__(self, body: list, trips: int, backedge: StaticInstr):
+        self.body = body
+        self.trips = trips
+        self.backedge = backedge
+
+
+class AssembledCall:
+    """A lowered call site: the call, and the return-target slot."""
+
+    __slots__ = ("routine", "call_instr", "ret_instr")
+
+    def __init__(self, routine: str, call_instr: StaticInstr, ret_instr: StaticInstr):
+        self.routine = routine
+        self.call_instr = call_instr
+        self.ret_instr = ret_instr
+
+
+class AssembledRoutine:
+    """A lowered routine with its assigned code range."""
+
+    __slots__ = ("name", "body", "code_base", "code_size")
+
+    def __init__(self, name: str, body: list, code_base: int, code_size: int):
+        self.name = name
+        self.body = body
+        self.code_base = code_base
+        self.code_size = code_size
+
+
+class ISA:
+    """Base class for instruction-set models.
+
+    Subclasses define:
+
+    * :attr:`name` — registry key,
+    * :meth:`instr_size` — deterministic instruction size stream,
+    * :attr:`expansion` — instructions emitted per IR op unit, keyed by
+      ``(op_kind, block_kind)``,
+    * :attr:`stack_multiplier` — extra dynamic path length on runtime,
+      library and OS code relative to the RISC-V baseline (the thesis's
+      headline instruction-count finding, §4.2.3.1),
+    * :attr:`syscall_overhead_instrs` — trap entry/exit sequence length.
+    """
+
+    name = "abstract"
+    stack_multiplier = 1.0
+    syscall_overhead_instrs = 6
+    #: (op_kind, block_kind) -> instructions per IR op unit.  Missing keys
+    #: default to 1.0.
+    expansion: Dict[Tuple[str, str], float] = {}
+
+    def instr_size(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def expansion_for(self, op_kind: str, block_kind: str) -> float:
+        factor = self.expansion.get((op_kind, block_kind), 1.0)
+        if block_kind == BLOCK_STACK:
+            factor *= self.stack_multiplier
+        return factor
+
+    # -- assembly ----------------------------------------------------------
+
+    def assemble(self, program: ir.Program) -> "AssembledProgram":
+        """Lower ``program`` to a per-ISA instruction layout."""
+        from repro.sim.isa.trace import AssembledProgram
+
+        program.validate()
+        rng = random.Random("%d|%s|layout" % (program.seed, self.name))
+        pc_cursor = {
+            "code": program.space.segment_base("code"),
+            "kernel": program.space.segment_base("kernel"),
+        }
+        routines: Dict[str, AssembledRoutine] = {}
+        for routine in program.routines.values():
+            segment = routine.segment if routine.segment in pc_cursor else "code"
+            base = pc_cursor[segment]
+            ctx = _AsmContext(self, rng, base)
+            body = self._assemble_node(routine.body, ctx)
+            # A terminating return so the routine has a well-defined end.
+            ret = ctx.emit(InstrClass.RET, srcs=(ZERO_REG,), dst=-1)
+            body.append(AssembledBlock([ret], BLOCK_STACK))
+            code_size = ctx.pc - base
+            pc_cursor[segment] = ctx.pc + 64  # pad between routines
+            routines[routine.name] = AssembledRoutine(routine.name, body, base, code_size)
+        return AssembledProgram(program, self, routines)
+
+    def _assemble_node(self, node: ir.StructureNode, ctx: "_AsmContext") -> list:
+        if isinstance(node, ir.Block):
+            return [self._assemble_block(node, ctx)]
+        if isinstance(node, ir.Seq):
+            out: list = []
+            for item in node.items:
+                out.extend(self._assemble_node(item, ctx))
+            return out
+        if isinstance(node, ir.Loop):
+            body = self._assemble_node(node.body, ctx)
+            backedge = ctx.emit(
+                InstrClass.BRANCH, srcs=(ctx.chain_reg(0),), dst=-1, taken_probability=1.0
+            )
+            return [AssembledLoop(body, node.trips, backedge)]
+        if isinstance(node, ir.Call):
+            call_instr = ctx.emit(InstrClass.CALL, srcs=(ZERO_REG,), dst=-1)
+            ret_instr = ctx.emit(InstrClass.NOP, srcs=(ZERO_REG,), dst=-1)
+            return [AssembledCall(node.routine, call_instr, ret_instr)]
+        raise TypeError("unknown structure node %r" % (node,))
+
+    def _assemble_block(self, block: ir.Block, ctx: "_AsmContext") -> AssembledBlock:
+        instrs: List[StaticInstr] = []
+        chain = 0
+        for op in block.ops:
+            scaled = op.count * self.expansion_for(op.kind, block.kind)
+            count = max(1, int(round(scaled)))
+            if op.unrolled:
+                # Distinct PCs, each executed once: honest I-footprint.
+                emitted, chain = self._emit_unrolled(op, count, block, chain, ctx)
+                instrs.extend(emitted)
+                continue
+            rotate = tuple(
+                ctx.chain_reg(chain + lane) for lane in range(block.ilp)
+            ) if count > 1 and block.ilp > 1 else ()
+            if op.kind in _COMPUTE_CLASS:
+                icls = _COMPUTE_CLASS[op.kind]
+                fp = op.kind in (ir.OP_FALU, ir.OP_FMUL, ir.OP_FDIV)
+                reg = ctx.chain_reg(chain % block.ilp, fp=fp)
+                if rotate and fp:
+                    rotate = tuple(
+                        ctx.chain_reg(chain + lane, fp=True) for lane in range(block.ilp)
+                    )
+                instrs.append(
+                    ctx.emit(icls, srcs=(reg, ZERO_REG), dst=reg, repeat=count,
+                             rotate=rotate)
+                )
+                chain += 1
+            elif op.kind == ir.OP_LOAD:
+                reg = ctx.chain_reg(chain % block.ilp)
+                instrs.append(
+                    ctx.emit(
+                        InstrClass.LOAD,
+                        srcs=(ADDR_REG,),
+                        dst=reg,
+                        repeat=count,
+                        region=op.region,
+                        pattern=op.pattern,
+                        rotate=rotate,
+                    )
+                )
+                chain += 1
+            elif op.kind == ir.OP_STORE:
+                reg = ctx.chain_reg(chain % block.ilp)
+                instrs.append(
+                    ctx.emit(
+                        InstrClass.STORE,
+                        srcs=(reg, ADDR_REG),
+                        dst=-1,
+                        repeat=count,
+                        region=op.region,
+                        pattern=op.pattern,
+                        rotate=rotate,
+                    )
+                )
+            elif op.kind == ir.OP_BRANCH:
+                instrs.append(
+                    ctx.emit(
+                        InstrClass.BRANCH,
+                        srcs=(ctx.chain_reg(chain % block.ilp),),
+                        dst=-1,
+                        repeat=count,
+                        taken_probability=op.taken_probability,
+                    )
+                )
+            elif op.kind == ir.OP_SYSCALL:
+                for _ in range(op.count):
+                    instrs.append(ctx.emit(InstrClass.CSR, srcs=(ZERO_REG,), dst=-1))
+                    overhead = max(1, int(round(self.syscall_overhead_instrs)))
+                    instrs.append(
+                        ctx.emit(
+                            InstrClass.SYSCALL,
+                            srcs=(ZERO_REG,),
+                            dst=-1,
+                            repeat=overhead,
+                        )
+                    )
+            else:
+                raise ValueError("cannot lower IR op kind %r" % op.kind)
+        return AssembledBlock(instrs, block.kind)
+
+    def _emit_unrolled(
+        self,
+        op: ir.IROp,
+        count: int,
+        block: ir.Block,
+        chain: int,
+        ctx: "_AsmContext",
+    ) -> Tuple[List[StaticInstr], int]:
+        """Lower one IR op to ``count`` distinct static instructions."""
+        out: List[StaticInstr] = []
+        for index in range(count):
+            reg = ctx.chain_reg(chain % block.ilp)
+            if op.kind in _COMPUTE_CLASS:
+                fp = op.kind in (ir.OP_FALU, ir.OP_FMUL, ir.OP_FDIV)
+                reg = ctx.chain_reg(chain % block.ilp, fp=fp)
+                out.append(ctx.emit(_COMPUTE_CLASS[op.kind], srcs=(reg, ZERO_REG), dst=reg))
+            elif op.kind == ir.OP_LOAD:
+                pattern = self._unrolled_pattern(op.pattern, index)
+                out.append(
+                    ctx.emit(InstrClass.LOAD, srcs=(ADDR_REG,), dst=reg,
+                             region=op.region, pattern=pattern)
+                )
+            elif op.kind == ir.OP_STORE:
+                pattern = self._unrolled_pattern(op.pattern, index)
+                out.append(
+                    ctx.emit(InstrClass.STORE, srcs=(reg, ADDR_REG), dst=-1,
+                             region=op.region, pattern=pattern)
+                )
+            elif op.kind == ir.OP_BRANCH:
+                out.append(
+                    ctx.emit(InstrClass.BRANCH, srcs=(reg,), dst=-1,
+                             taken_probability=op.taken_probability)
+                )
+            else:
+                raise ValueError("cannot unroll IR op kind %r" % op.kind)
+            chain += 1
+        return out, chain
+
+    @staticmethod
+    def _unrolled_pattern(
+        pattern: Optional[ir.AddressPattern], index: int
+    ) -> Optional[ir.AddressPattern]:
+        """Give the index-th unrolled copy of a strided op its own offset."""
+        if isinstance(pattern, ir.StridePattern):
+            return ir.StridePattern(stride=pattern.stride,
+                                    start=pattern.start + index * pattern.stride)
+        return pattern
+
+
+class _AsmContext:
+    """Mutable assembly state for one routine: PC cursor and registers."""
+
+    __slots__ = ("isa", "rng", "pc")
+
+    def __init__(self, isa: ISA, rng: random.Random, base_pc: int):
+        self.isa = isa
+        self.rng = rng
+        self.pc = base_pc
+
+    def chain_reg(self, chain: int, fp: bool = False) -> int:
+        base = FP_CHAIN_BASE if fp else INT_CHAIN_BASE
+        return base + (chain % 24)
+
+    def emit(
+        self,
+        icls: int,
+        srcs: Tuple[int, ...],
+        dst: int,
+        repeat: int = 1,
+        region: Optional[ir.Region] = None,
+        pattern: Optional[ir.AddressPattern] = None,
+        taken_probability: float = 1.0,
+        rotate: Tuple[int, ...] = (),
+    ) -> StaticInstr:
+        size = self.isa.instr_size(self.rng)
+        instr = StaticInstr(
+            pc=self.pc,
+            size=size,
+            icls=icls,
+            srcs=srcs,
+            dst=dst,
+            repeat=repeat,
+            region=region,
+            pattern=pattern,
+            taken_probability=taken_probability,
+            rotate=rotate,
+        )
+        self.pc += size
+        return instr

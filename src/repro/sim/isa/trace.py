@@ -1,0 +1,122 @@
+"""Dynamic instruction trace generation.
+
+An :class:`AssembledProgram` replays into a stream of
+``(static_instr, address, taken)`` triples: the functional execution the
+CPU timing models consume.  Replay is fully deterministic for a given
+(program, ISA, seed) triple — the property that makes checkpointed
+experiments repeatable, which the thesis struggled to get from gem5's KVM
+core.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Tuple
+
+from repro.sim.isa.base import (
+    AssembledBlock,
+    AssembledCall,
+    AssembledLoop,
+    AssembledRoutine,
+    InstrClass,
+    StaticInstr,
+)
+
+#: A dynamic instruction: the static instruction, the effective byte
+#: address (-1 for non-memory ops), and the branch outcome (False for
+#: non-branches).
+DynInstr = Tuple[StaticInstr, int, bool]
+
+_MAX_CALL_DEPTH = 64
+
+
+class AssembledProgram:
+    """A program lowered to one ISA's instruction layout."""
+
+    def __init__(self, program, isa, routines: Dict[str, AssembledRoutine]):
+        self.program = program
+        self.isa = isa
+        self.routines = routines
+        self.entry = program.entry
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def code_bytes(self) -> int:
+        """Total static code footprint in bytes (all routines)."""
+        return sum(routine.code_size for routine in self.routines.values())
+
+    def trace(self, seed: int = 0) -> Iterator[DynInstr]:
+        """Replay the program into its dynamic instruction stream."""
+        generator = TraceGenerator(self, seed)
+        return generator.run()
+
+    def dynamic_length(self, seed: int = 0) -> int:
+        """Number of dynamic instructions (functional dry run)."""
+        return sum(1 for _ in self.trace(seed))
+
+    def __repr__(self) -> str:
+        return "AssembledProgram(%s/%s, %d routines, %d code bytes)" % (
+            self.name, self.isa.name, len(self.routines), self.code_bytes(),
+        )
+
+
+class TraceGenerator:
+    """Walks an assembled program's structure, producing dynamic instrs."""
+
+    def __init__(self, assembled: AssembledProgram, seed: int = 0):
+        self.assembled = assembled
+        self.seed = seed
+
+    def run(self) -> Iterator[DynInstr]:
+        rng = random.Random("%d|%d|trace" % (self.assembled.program.seed, self.seed))
+        entry = self.assembled.routines[self.assembled.entry]
+        yield from self._run_routine(entry, rng, depth=0)
+
+    def _run_routine(
+        self, routine: AssembledRoutine, rng: random.Random, depth: int
+    ) -> Iterator[DynInstr]:
+        if depth > _MAX_CALL_DEPTH:
+            raise RecursionError(
+                "call depth exceeded %d in %r" % (_MAX_CALL_DEPTH, routine.name)
+            )
+        yield from self._run_body(routine.body, rng, depth)
+
+    def _run_body(self, body: list, rng: random.Random, depth: int) -> Iterator[DynInstr]:
+        for node in body:
+            if isinstance(node, AssembledBlock):
+                yield from self._run_block(node, rng)
+            elif isinstance(node, AssembledLoop):
+                last = node.trips - 1
+                for trip in range(node.trips):
+                    yield from self._run_body(node.body, rng, depth)
+                    yield (node.backedge, -1, trip != last)
+            elif isinstance(node, AssembledCall):
+                yield (node.call_instr, -1, False)
+                callee = self.assembled.routines[node.routine]
+                yield from self._run_routine(callee, rng, depth + 1)
+                yield (node.ret_instr, -1, False)
+            else:
+                raise TypeError("unknown assembled node %r" % (node,))
+
+    @staticmethod
+    def _run_block(block: AssembledBlock, rng: random.Random) -> Iterator[DynInstr]:
+        for instr in block.instrs:
+            repeat = instr.repeat
+            if instr.is_mem:
+                region = instr.region
+                base = region.base
+                for offset in instr.pattern.offsets(region, repeat, rng):
+                    yield (instr, base + offset, False)
+            elif instr.icls == InstrClass.BRANCH:
+                probability = instr.taken_probability
+                if probability >= 1.0:
+                    for _ in range(repeat):
+                        yield (instr, -1, True)
+                else:
+                    for _ in range(repeat):
+                        yield (instr, -1, rng.random() < probability)
+            else:
+                for _ in range(repeat):
+                    yield (instr, -1, False)

@@ -1,0 +1,81 @@
+"""x86-64 instruction-set model.
+
+Variable-length encoding (2–8 bytes after decode-relevant prefixes).  The
+lowering reflects two measured properties from the thesis's evaluation:
+
+* Application-level compute can be *denser* than RISC-V thanks to memory
+  operands folded into ALU instructions — this is why the warm, handler-
+  dominated phase of aes-go / auth-go / auth-python executed *fewer*
+  instructions on x86 (Fig 4.16).
+* The runtime/library/OS path executes substantially *more* instructions
+  than the RISC-V port of the same stack (PLT indirection, heavier
+  save/restore conventions, microcoded sequences, and the generally fatter
+  distro builds the thesis observed), which dominates cold starts and is
+  the main reason the RISC-V simulated platform was faster overall
+  (§4.2.3.1, Fig 4.16).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.isa import ir
+from repro.sim.isa.base import BLOCK_APP, BLOCK_RTPATH, BLOCK_STACK, ISA
+
+
+class X86ISA(ISA):
+    """x86-64 model matching the thesis's Ubuntu Jammy x86 stack."""
+
+    name = "x86"
+
+    #: Measured software-stack path-length ratio vs the RISC-V baseline.
+    #: Fig 4.16 shows cold-execution instruction counts roughly 1.6-2.2x
+    #: the RISC-V counts across the suite.
+    stack_multiplier = 1.8
+
+    #: syscall/sysret plus the longer Linux x86 entry trampoline
+    #: (swapgs, stack switch, mitigation sequences).
+    syscall_overhead_instrs = 14
+
+    expansion = {
+        # Memory-operand folding makes handler compute denser.
+        (ir.OP_IALU, BLOCK_APP): 0.82,
+        (ir.OP_LOAD, BLOCK_APP): 0.92,
+        (ir.OP_STORE, BLOCK_APP): 1.0,
+        # cmp/test + jcc pairs (macro-fusion recovers some in hardware, but
+        # the *architectural* count the thesis reports includes both).
+        (ir.OP_BRANCH, BLOCK_APP): 1.35,
+        (ir.OP_BRANCH, BLOCK_STACK): 1.35,
+        (ir.OP_IALU, BLOCK_STACK): 1.0,
+        (ir.OP_LOAD, BLOCK_STACK): 1.0,
+        (ir.OP_STORE, BLOCK_STACK): 1.0,
+        # Steady-state request path: near-parity, with a small win from
+        # memory-operand folding.
+        (ir.OP_IALU, BLOCK_RTPATH): 0.97,
+        (ir.OP_LOAD, BLOCK_RTPATH): 0.98,
+        (ir.OP_STORE, BLOCK_RTPATH): 1.0,
+        (ir.OP_BRANCH, BLOCK_RTPATH): 1.2,
+        (ir.OP_IMUL, BLOCK_APP): 0.9,
+        (ir.OP_IDIV, BLOCK_APP): 1.0,
+        (ir.OP_FALU, BLOCK_APP): 0.95,
+        (ir.OP_FMUL, BLOCK_APP): 0.95,
+        (ir.OP_FDIV, BLOCK_APP): 1.0,
+    }
+
+    #: Instruction-length distribution (bytes -> weight), approximating
+    #: x86-64 integer code from compiler output.
+    _SIZES = (2, 3, 4, 5, 6, 7, 8)
+    _WEIGHTS = (18, 24, 22, 16, 10, 6, 4)
+    _CUMULATIVE = []
+    _total = 0
+    for _size, _weight in zip(_SIZES, _WEIGHTS):
+        _total += _weight
+        _CUMULATIVE.append((_total, _size))
+    del _size, _weight
+
+    def instr_size(self, rng: random.Random) -> int:
+        pick = rng.randrange(self._total)
+        for bound, size in self._CUMULATIVE:
+            if pick < bound:
+                return size
+        return self._SIZES[-1]

@@ -1,0 +1,182 @@
+"""Set-associative cache model.
+
+Tag-only (the simulator keeps data in the functional layer), write-back
+write-allocate, with pluggable per-set replacement.  Every access is
+counted in the attached :class:`~repro.sim.statistics.StatGroup`, so the
+harness's stat-reset/stat-dump protocol sees exactly the counters the
+thesis reports: accesses, hits, misses, and writebacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.sim.mem.replacement import ReplacementPolicy, make_policy
+from repro.sim.statistics import StatGroup
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class Cache:
+    """One level of tag-only set-associative cache."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_size: int = 64,
+        policy: str = "lru",
+        stats_parent: Optional[StatGroup] = None,
+    ):
+        if not _is_pow2(line_size):
+            raise ValueError("line size must be a power of two, got %d" % line_size)
+        if size_bytes % (assoc * line_size) != 0:
+            raise ValueError(
+                "cache %s: size %d not divisible by assoc*line (%d*%d)"
+                % (name, size_bytes, assoc, line_size)
+            )
+        num_sets = size_bytes // (assoc * line_size)
+        if not _is_pow2(num_sets):
+            raise ValueError("cache %s: set count %d must be a power of two" % (name, num_sets))
+
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = num_sets
+        self._set_mask = num_sets - 1
+        self._line_shift = line_size.bit_length() - 1
+        self.policy_name = policy
+
+        self._sets: List[Set[int]] = [set() for _ in range(num_sets)]
+        self._dirty: List[Set[int]] = [set() for _ in range(num_sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, seed=index) for index in range(num_sets)
+        ]
+
+        stats = (stats_parent or StatGroup("orphan")).group(name)
+        self.stats = stats
+        self.stat_accesses = stats.scalar("accesses", "total demand accesses")
+        self.stat_hits = stats.scalar("hits", "demand hits")
+        self.stat_misses = stats.scalar("misses", "demand misses")
+        self.stat_writebacks = stats.scalar("writebacks", "dirty lines evicted")
+        stats.formula(
+            "missRate",
+            lambda: (self.stat_misses.value() / self.stat_accesses.value())
+            if self.stat_accesses.value()
+            else 0.0,
+            "misses / accesses",
+        )
+
+    # -- core access path ---------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def access_line(self, line: int, write: bool = False) -> bool:
+        """Access one cache line; returns True on hit.
+
+        On a miss the line is allocated (write-allocate) and a victim
+        evicted if the set is full; a dirty victim counts a writeback.
+        """
+        index = line & self._set_mask
+        resident = self._sets[index]
+        policy = self._policies[index]
+        self.stat_accesses.inc()
+        if line in resident:
+            self.stat_hits.inc()
+            policy.touch(line)
+            if write:
+                self._dirty[index].add(line)
+            return True
+        self.stat_misses.inc()
+        if len(resident) >= self.assoc:
+            victim = policy.victim()
+            policy.evict(victim)
+            resident.discard(victim)
+            if victim in self._dirty[index]:
+                self._dirty[index].discard(victim)
+                self.stat_writebacks.inc()
+        resident.add(line)
+        policy.insert(line)
+        if write:
+            self._dirty[index].add(line)
+        return False
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Byte-address convenience wrapper around :meth:`access_line`."""
+        return self.access_line(self.line_of(addr), write)
+
+    def fill_line(self, line: int) -> None:
+        """Install a line without counting a demand access (prefetch fill)."""
+        index = line & self._set_mask
+        resident = self._sets[index]
+        if line in resident:
+            return
+        policy = self._policies[index]
+        if len(resident) >= self.assoc:
+            victim = policy.victim()
+            policy.evict(victim)
+            resident.discard(victim)
+            if victim in self._dirty[index]:
+                self._dirty[index].discard(victim)
+                self.stat_writebacks.inc()
+        resident.add(line)
+        policy.insert(line)
+
+    def contains_line(self, line: int) -> bool:
+        return line in self._sets[line & self._set_mask]
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty writebacks."""
+        writebacks = 0
+        for index in range(self.num_sets):
+            writebacks += len(self._dirty[index])
+            self._sets[index].clear()
+            self._dirty[index].clear()
+            self._policies[index] = make_policy(self.policy_name, seed=index)
+        self.stat_writebacks.inc(writebacks)
+        return writebacks
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Microarchitectural state for checkpointing (tags + dirty bits)."""
+        return {
+            "geometry": (self.size_bytes, self.assoc, self.line_size),
+            "sets": [policy.state() for policy in self._policies],
+            "dirty": [sorted(d) for d in self._dirty],
+        }
+
+    def load_state(self, state: Dict) -> None:
+        geometry = state.get("geometry")
+        if geometry is not None and tuple(geometry) != (
+            self.size_bytes, self.assoc, self.line_size
+        ):
+            raise ValueError(
+                "checkpoint geometry %s does not match cache %s "
+                "(%dB %d-way, %dB lines): checkpoints only restore onto "
+                "the configuration they were taken from"
+                % (tuple(geometry), self.name, self.size_bytes, self.assoc,
+                   self.line_size)
+            )
+        for index, (tags, dirty) in enumerate(zip(state["sets"], state["dirty"])):
+            policy = make_policy(self.policy_name, seed=index)
+            self._sets[index] = set(tags)
+            self._dirty[index] = set(dirty)
+            for tag in tags:  # re-establish recency order
+                policy.insert(tag)
+            self._policies[index] = policy
+
+    def __repr__(self) -> str:
+        return "Cache(%s: %dB %d-way, %d sets, %s)" % (
+            self.name, self.size_bytes, self.assoc, self.num_sets, self.policy_name,
+        )

@@ -1,0 +1,133 @@
+"""Cache replacement policies.
+
+Each policy manages victim selection within one cache set.  Policies are
+deliberately small objects: the cache keeps one instance per set, and the
+design-space-exploration benches swap them via :func:`make_policy`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+
+class ReplacementPolicy:
+    """Per-set replacement state."""
+
+    def touch(self, tag: int) -> None:
+        """Record a hit on ``tag``."""
+        raise NotImplementedError
+
+    def insert(self, tag: int) -> None:
+        """Record the fill of ``tag`` (caller has ensured capacity)."""
+        raise NotImplementedError
+
+    def victim(self) -> int:
+        """Choose the tag to evict (set is full)."""
+        raise NotImplementedError
+
+    def evict(self, tag: int) -> None:
+        """Remove ``tag`` from the tracking state."""
+        raise NotImplementedError
+
+    def state(self) -> List[int]:
+        """Checkpointable ordering of resident tags."""
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used, tracked with an insertion-ordered dict."""
+
+    __slots__ = ("_order",)
+
+    def __init__(self):
+        self._order: Dict[int, None] = {}
+
+    def touch(self, tag: int) -> None:
+        del self._order[tag]
+        self._order[tag] = None
+
+    def insert(self, tag: int) -> None:
+        self._order[tag] = None
+
+    def victim(self) -> int:
+        return next(iter(self._order))
+
+    def evict(self, tag: int) -> None:
+        del self._order[tag]
+
+    def state(self) -> List[int]:
+        return list(self._order)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in first-out: insertion order, hits do not promote."""
+
+    __slots__ = ("_order",)
+
+    def __init__(self):
+        self._order: Dict[int, None] = {}
+
+    def touch(self, tag: int) -> None:
+        pass
+
+    def insert(self, tag: int) -> None:
+        self._order[tag] = None
+
+    def victim(self) -> int:
+        return next(iter(self._order))
+
+    def evict(self, tag: int) -> None:
+        del self._order[tag]
+
+    def state(self) -> List[int]:
+        return list(self._order)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection with a per-set deterministic RNG."""
+
+    __slots__ = ("_resident", "_rng")
+
+    def __init__(self, seed: int = 0):
+        self._resident: Dict[int, None] = {}
+        self._rng = random.Random(seed)
+
+    def touch(self, tag: int) -> None:
+        pass
+
+    def insert(self, tag: int) -> None:
+        self._resident[tag] = None
+
+    def victim(self) -> int:
+        keys = list(self._resident)
+        return keys[self._rng.randrange(len(keys))]
+
+    def evict(self, tag: int) -> None:
+        del self._resident[tag]
+
+    def state(self) -> List[int]:
+        return list(self._resident)
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (lru / fifo / random)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError("unknown replacement policy %r; have %s" % (name, sorted(_POLICIES)))
+    if cls is RandomPolicy:
+        return cls(seed or 0)
+    return cls()
+
+
+def policy_names() -> List[str]:
+    """Names of the available replacement policies."""
+    return sorted(_POLICIES)

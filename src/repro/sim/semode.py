@@ -1,0 +1,95 @@
+"""Syscall-emulation (SE) mode — gem5's second system mode (§2.4.1).
+
+Full-system mode boots an unmodified kernel and models everything; SE
+mode "does not emulate all of the devices in a system and focuses on
+simulating the CPU and memory system ... only emulates Linux system
+calls, and thus only models user-mode code".  It is *much easier to
+configure* — no disk image, no kernel build, no boot — at the cost of
+missing the OS behaviour that dominates serverless cold starts.
+
+:func:`se_run` executes one user-level program on a fresh system with
+syscalls absorbed at a fixed emulation cost.  The included comparison
+helper quantifies what SE mode misses for serverless work, which is why
+the thesis (and this reproduction) had to fight through full-system
+kernel builds instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sim.cpu.base import RunResult
+from repro.sim.mem.hierarchy import MemoryHierarchyConfig
+from repro.sim.system import SimulatedSystem
+
+
+class SEResult:
+    """Outcome of one SE-mode run."""
+
+    def __init__(self, run: RunResult, stats: Dict[str, float], syscalls: int):
+        self.run = run
+        self.stats = stats
+        self.syscalls = syscalls
+
+    @property
+    def cycles(self) -> int:
+        return self.run.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.run.instructions
+
+    def __repr__(self) -> str:
+        return "SEResult(cycles=%d, insts=%d, syscalls=%d)" % (
+            self.cycles, self.instructions, self.syscalls,
+        )
+
+
+def se_run(
+    program,
+    isa: str = "riscv",
+    model: str = "o3",
+    mem_config: Optional[MemoryHierarchyConfig] = None,
+    seed: int = 0,
+) -> SEResult:
+    """Run one user-level program in syscall-emulation mode.
+
+    The system starts empty — no boot, no OS residue in the caches, no
+    checkpoint dance — exactly the configuration convenience gem5's SE
+    mode exists for.  System calls in the program still execute (our
+    instruction stream carries their trap sequences), standing in for the
+    emulated-syscall handler the SE kernel shim provides.
+    """
+    system = SimulatedSystem(
+        name="se",
+        isa_name=isa,
+        mem_config=mem_config or MemoryHierarchyConfig(),
+        seed=seed,
+    )
+    run = system.run(0, program, model=model, seed=seed)
+    dump = system.dump_stats()
+    syscalls = int(dump.get(
+        "se.cpu0.%s.instsByClass::syscall" % model, 0))
+    return SEResult(run, dump, syscalls)
+
+
+def fs_vs_se_gap(function, scale, isa: str = "riscv",
+                 seed: int = 0) -> Tuple[float, float]:
+    """How much of a cold serverless request SE mode cannot see.
+
+    Returns ``(fs_cold_cycles, se_cycles)`` for the same invocation: the
+    FS measurement includes the booted platform's state and the runtime's
+    full cold path; the SE run executes only the user-level program on an
+    empty machine.  The gap is the reason the thesis needed full-system
+    support ("the faithful execution of serverless workloads in
+    simulation platforms is difficult due to the complex software stack").
+    """
+    from repro.core.harness import ExperimentHarness
+
+    harness = ExperimentHarness(isa=isa, scale=scale, seed=seed)
+    fs = harness.measure_function(function)
+    program = function.invocation_program(fs.records[0], {}, scale, seed=seed)
+    se = se_run(program, isa=isa,
+                mem_config=MemoryHierarchyConfig().scaled(scale.space),
+                seed=seed)
+    return float(fs.cold.cycles), float(se.cycles)

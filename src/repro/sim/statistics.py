@@ -1,0 +1,241 @@
+"""Statistics framework with gem5-style reset/dump semantics.
+
+The thesis's experiment protocol (§4.1.2.3) is built on two "m5 magic
+instructions": *stat reset* right before a request, and *stat dump* right
+after the reply.  Components declare their counters inside a
+:class:`StatGroup` tree rooted at the system; the harness resets the tree,
+runs the region of interest, and dumps a flat ``name -> value`` mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Stat:
+    """Base class for all statistics."""
+
+    def __init__(self, name: str, desc: str = ""):
+        if not name or "." in name:
+            raise ValueError("stat names must be non-empty and dot-free: %r" % name)
+        self.name = name
+        self.desc = desc
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def value(self) -> Number:
+        raise NotImplementedError
+
+
+class Scalar(Stat):
+    """A single accumulating counter (e.g. ``numCycles``)."""
+
+    def __init__(self, name: str, desc: str = ""):
+        super().__init__(name, desc)
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self._value += amount
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def value(self) -> Number:
+        return self._value
+
+    def __repr__(self) -> str:
+        return "Scalar(%s=%s)" % (self.name, self._value)
+
+
+class Vector(Stat):
+    """A counter indexed by a small fixed set of string keys.
+
+    Used for, e.g., per-instruction-class issue counts or per-level cache
+    miss breakdowns.
+    """
+
+    def __init__(self, name: str, keys: List[str], desc: str = ""):
+        super().__init__(name, desc)
+        if not keys:
+            raise ValueError("Vector needs at least one key")
+        if len(set(keys)) != len(keys):
+            raise ValueError("Vector keys must be unique: %r" % keys)
+        self.keys = list(keys)
+        self._values: Dict[str, Number] = {key: 0 for key in keys}
+
+    def inc(self, key: str, amount: Number = 1) -> None:
+        if key not in self._values:
+            raise KeyError("unknown vector key %r (have %r)" % (key, self.keys))
+        self._values[key] += amount
+
+    def get(self, key: str) -> Number:
+        return self._values[key]
+
+    def reset(self) -> None:
+        for key in self._values:
+            self._values[key] = 0
+
+    def value(self) -> Number:
+        return sum(self._values.values())
+
+    def items(self) -> Iterator:
+        return iter(self._values.items())
+
+    def __repr__(self) -> str:
+        return "Vector(%s, total=%s)" % (self.name, self.value())
+
+
+class Formula(Stat):
+    """A derived statistic computed on demand (e.g. CPI = cycles/instrs)."""
+
+    def __init__(self, name: str, compute: Callable[[], Number], desc: str = ""):
+        super().__init__(name, desc)
+        self._compute = compute
+
+    def reset(self) -> None:  # derived stats hold no state of their own
+        pass
+
+    def value(self) -> Number:
+        return self._compute()
+
+    def __repr__(self) -> str:
+        return "Formula(%s)" % self.name
+
+
+class Histogram(Stat):
+    """A fixed-bucket histogram (e.g. request latency distribution)."""
+
+    def __init__(self, name: str, bucket_bounds: List[Number], desc: str = ""):
+        super().__init__(name, desc)
+        if sorted(bucket_bounds) != list(bucket_bounds) or not bucket_bounds:
+            raise ValueError("bucket bounds must be non-empty and ascending")
+        self.bounds = list(bucket_bounds)
+        self.counts = [0] * (len(bucket_bounds) + 1)
+        self.samples = 0
+        self.total: Number = 0
+
+    def sample(self, value: Number) -> None:
+        self.samples += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.samples = 0
+        self.total = 0
+
+    def value(self) -> Number:
+        return self.samples
+
+    def __repr__(self) -> str:
+        return "Histogram(%s, n=%d, mean=%.2f)" % (self.name, self.samples, self.mean)
+
+
+class StatGroup:
+    """A named node in the statistics tree.
+
+    Groups nest (``system.cpu1.dcache``) and flatten into dotted names at
+    dump time, matching gem5's ``stats.txt`` naming.
+    """
+
+    def __init__(self, name: str):
+        if not name or "." in name:
+            raise ValueError("group names must be non-empty and dot-free: %r" % name)
+        self.name = name
+        self._stats: Dict[str, Stat] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    def add(self, stat: Stat) -> Stat:
+        if stat.name in self._stats or stat.name in self._children:
+            raise ValueError("duplicate stat name %r in group %r" % (stat.name, self.name))
+        self._stats[stat.name] = stat
+        return stat
+
+    def scalar(self, name: str, desc: str = "") -> Scalar:
+        stat = Scalar(name, desc)
+        self.add(stat)
+        return stat
+
+    def vector(self, name: str, keys: List[str], desc: str = "") -> Vector:
+        stat = Vector(name, keys, desc)
+        self.add(stat)
+        return stat
+
+    def formula(self, name: str, compute: Callable[[], Number], desc: str = "") -> Formula:
+        stat = Formula(name, compute, desc)
+        self.add(stat)
+        return stat
+
+    def histogram(self, name: str, bounds: List[Number], desc: str = "") -> Histogram:
+        stat = Histogram(name, bounds, desc)
+        self.add(stat)
+        return stat
+
+    def group(self, name: str) -> "StatGroup":
+        """Get or create a child group."""
+        if name in self._stats:
+            raise ValueError("%r is already a stat in group %r" % (name, self.name))
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def attach(self, child: "StatGroup") -> "StatGroup":
+        if child.name in self._children or child.name in self._stats:
+            raise ValueError("duplicate child group %r in %r" % (child.name, self.name))
+        self._children[child.name] = child
+        return child
+
+    def reset(self) -> None:
+        """Reset this group and all descendants (the *stat reset* m5 op)."""
+        for stat in self._stats.values():
+            stat.reset()
+        for child in self._children.values():
+            child.reset()
+
+    def dump(self, prefix: Optional[str] = None) -> Dict[str, Number]:
+        """Flatten to ``dotted.name -> value`` (the *stat dump* m5 op).
+
+        Vector stats expand to one entry per key plus a total.
+        """
+        base = self.name if prefix is None else "%s.%s" % (prefix, self.name)
+        out: Dict[str, Number] = {}
+        for stat in self._stats.values():
+            full = "%s.%s" % (base, stat.name)
+            if isinstance(stat, Vector):
+                for key, value in stat.items():
+                    out["%s::%s" % (full, key)] = value
+                out["%s::total" % full] = stat.value()
+            else:
+                out[full] = stat.value()
+        for child in self._children.values():
+            out.update(child.dump(prefix=base))
+        return out
+
+    def find(self, dotted: str) -> Stat:
+        """Look up a stat by dotted path relative to this group."""
+        parts = dotted.split(".")
+        node: StatGroup = self
+        for part in parts[:-1]:
+            node = node._children[part]
+        return node._stats[parts[-1]]
+
+    def __repr__(self) -> str:
+        return "StatGroup(%s: %d stats, %d children)" % (
+            self.name,
+            len(self._stats),
+            len(self._children),
+        )

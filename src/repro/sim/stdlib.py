@@ -1,0 +1,101 @@
+"""gem5-standard-library-style board builders (§2.4.3).
+
+The thesis escaped the "inefficient, poorly documented" fs.py-derived
+configuration scripts by rewriting its workflow on the gem5 stdlib, where
+"users can configure simulations in a few lines of Python".  This module
+offers the same ergonomics for our simulator: named cache-hierarchy and
+processor presets composing into a ready
+:class:`~repro.sim.system.SimulatedSystem`.
+
+::
+
+    from repro.sim.stdlib import build_board
+
+    board = build_board(
+        isa="riscv",
+        processor="o3-2core",
+        cache_hierarchy="private-l1-private-l2",
+    )
+    board.run(1, program, model="o3")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.cpu.o3 import O3Config
+from repro.sim.mem.hierarchy import MemoryHierarchyConfig
+from repro.sim.system import SimulatedSystem
+from repro.sim.ticks import Frequency
+
+#: Cache-hierarchy presets (name -> config factory).
+CACHE_HIERARCHIES: Dict[str, MemoryHierarchyConfig] = {
+    # Table 4.1's hierarchy: the default everywhere else in this repo.
+    "private-l1-private-l2": MemoryHierarchyConfig(),
+    # A small embedded-class hierarchy.
+    "small-embedded": MemoryHierarchyConfig(
+        l1i_size=16 * 1024, l1d_size=16 * 1024, l1i_assoc=4, l1d_assoc=4,
+        l2_size=128 * 1024, l2_assoc=4,
+    ),
+    # A fat server hierarchy with prefetchers on.
+    "big-server": MemoryHierarchyConfig(
+        l1i_size=64 * 1024, l1d_size=64 * 1024,
+        l2_size=2 * 1024 * 1024, l2_assoc=8,
+        prefetch_i_degree=4, prefetch_d_degree=4,
+    ),
+}
+
+#: Processor presets (name -> (cores, frequency GHz, O3 config)).
+PROCESSORS: Dict[str, tuple] = {
+    "o3-2core": (2, 1, O3Config()),
+    "o3-1core": (1, 1, O3Config()),
+    "o3-wide": (2, 1, O3Config(rob_entries=384, dispatch_width=12,
+                               commit_width=12)),
+    "o3-narrow": (2, 1, O3Config(rob_entries=64, dispatch_width=2,
+                                 commit_width=2, lq_entries=16, sq_entries=16)),
+}
+
+
+def list_cache_hierarchies():
+    """Names of the available cache-hierarchy presets."""
+    return sorted(CACHE_HIERARCHIES)
+
+
+def list_processors():
+    """Names of the available processor presets."""
+    return sorted(PROCESSORS)
+
+
+def build_board(
+    isa: str = "riscv",
+    processor: str = "o3-2core",
+    cache_hierarchy: str = "private-l1-private-l2",
+    name: str = "board",
+    space_scale: int = 1,
+    seed: int = 0,
+    frequency_ghz: Optional[int] = None,
+) -> SimulatedSystem:
+    """Compose a simulated system from named presets.
+
+    ``space_scale`` shrinks cache capacities for scaled-machine runs (see
+    :mod:`repro.core.scale`); everything else keeps preset values.
+    """
+    if processor not in PROCESSORS:
+        raise ValueError("unknown processor %r; have %s"
+                         % (processor, list_processors()))
+    if cache_hierarchy not in CACHE_HIERARCHIES:
+        raise ValueError("unknown cache hierarchy %r; have %s"
+                         % (cache_hierarchy, list_cache_hierarchies()))
+    cores, preset_ghz, o3_config = PROCESSORS[processor]
+    mem_config = CACHE_HIERARCHIES[cache_hierarchy]
+    if space_scale > 1:
+        mem_config = mem_config.scaled(space_scale)
+    return SimulatedSystem(
+        name=name,
+        isa_name=isa,
+        mem_config=mem_config,
+        o3_config=o3_config,
+        num_cores=cores,
+        frequency=Frequency.from_ghz(frequency_ghz or preset_ghz),
+        seed=seed,
+    )

@@ -1,0 +1,166 @@
+"""The simulated multicore system (Fig 4.3 of the thesis).
+
+Two cores — core 0 runs the load-generating client, core 1 the serverless
+function under test — each with private L1I/L1D/L2 and TLBs, sharing one
+DRAM controller, one event queue, and one statistics tree.  CPU models are
+switchable per core (Atomic for setup mode, O3 for evaluation mode), and
+the whole microarchitectural state can be checkpointed and restored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sim.cpu.atomic import AtomicCpu
+from repro.sim.cpu.base import BaseCpu, RunResult
+from repro.sim.cpu.kvm import KvmCpu
+from repro.sim.cpu.o3 import O3Config, O3Cpu
+from repro.sim.eventq import EventQueue
+from repro.sim.mem.dram import DramModel
+from repro.sim.mem.hierarchy import CoreMemSystem, MemoryHierarchyConfig
+from repro.sim.statistics import StatGroup
+from repro.sim.ticks import ClockDomain, Frequency
+
+CPU_MODELS = ("atomic", "o3", "kvm")
+
+
+class SimulatedSystem:
+    """A checkpointable multicore system with switchable CPU models."""
+
+    def __init__(
+        self,
+        name: str = "system",
+        isa_name: str = "riscv",
+        mem_config: Optional[MemoryHierarchyConfig] = None,
+        o3_config: Optional[O3Config] = None,
+        num_cores: int = 2,
+        frequency: Optional[Frequency] = None,
+        seed: int = 0,
+    ):
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        from repro.sim.isa import get_isa  # local import avoids a cycle
+
+        self.name = name
+        self.isa = get_isa(isa_name)
+        self.mem_config = mem_config or MemoryHierarchyConfig()
+        self.o3_config = o3_config or O3Config()
+        self.num_cores = num_cores
+        self.clock = ClockDomain(frequency or Frequency.from_ghz(1))
+        self.seed = seed
+
+        self.eventq = EventQueue()
+        self.stats = StatGroup(name)
+        self.dram = DramModel(stats_parent=self.stats)
+        self.cores = [
+            CoreMemSystem(core_id, self.mem_config, self.dram, self.stats)
+            for core_id in range(num_cores)
+        ]
+        self._cpus: Dict[Tuple[int, str], BaseCpu] = {}
+        self._active_model = ["atomic"] * num_cores
+        self._assembled_cache: Dict[int, Tuple[object, object]] = {}
+
+    # -- CPU model switching ---------------------------------------------------
+
+    def cpu(self, core_id: int, model: Optional[str] = None) -> BaseCpu:
+        """Get (creating lazily) the CPU object for a core and model."""
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError("no core %d (system has %d)"
+                             % (core_id, self.num_cores))
+        if model is None:
+            model = self._active_model[core_id]
+        if model not in CPU_MODELS:
+            raise ValueError("unknown CPU model %r; have %s" % (model, CPU_MODELS))
+        key = (core_id, model)
+        if key not in self._cpus:
+            mem = self.cores[core_id]
+            if model == "atomic":
+                self._cpus[key] = AtomicCpu(core_id, mem, self.stats)
+            elif model == "o3":
+                self._cpus[key] = O3Cpu(core_id, mem, self.stats, self.o3_config)
+            else:
+                self._cpus[key] = KvmCpu(core_id, mem, self.stats, seed=self.seed)
+        return self._cpus[key]
+
+    def switch_cpu(self, core_id: int, model: str) -> BaseCpu:
+        """Switch a core's active model (checkpoint-and-restore workflow)."""
+        cpu = self.cpu(core_id, model)
+        self._active_model[core_id] = model
+        return cpu
+
+    def active_model(self, core_id: int) -> str:
+        return self._active_model[core_id]
+
+    # -- program execution -------------------------------------------------------
+
+    def assemble(self, program) -> object:
+        """Assemble (and cache) an IR program for this system's ISA."""
+        key = id(program)
+        cached = self._assembled_cache.get(key)
+        if cached is not None and cached[0] is program:
+            return cached[1]
+        assembled = self.isa.assemble(program)
+        self._assembled_cache[key] = (program, assembled)
+        return assembled
+
+    def run(self, core_id: int, program, model: Optional[str] = None, seed: int = 0) -> RunResult:
+        """Execute a program on a core with the given (or active) model."""
+        assembled = self.assemble(program)
+        return self.cpu(core_id, model).run_program(assembled, seed=seed)
+
+    def warm(self, core_id: int, program, seed: int = 0) -> int:
+        """Functionally execute a program, updating caches without timing.
+
+        If the core has a detailed CPU instantiated, its branch predictor
+        trains on the stream too — functional warming covers the whole
+        microarchitectural state, as vSwarm-u's setup mode intends.
+        """
+        assembled = self.assemble(program)
+        o3 = self._cpus.get((core_id, "o3"))
+        bpred = o3.bpred if o3 is not None else None
+        return self.cpu(core_id, "atomic").warm_program(assembled, seed=seed,
+                                                        bpred=bpred)
+
+    # -- m5-op style controls ------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def dump_stats(self) -> Dict[str, float]:
+        return self.stats.dump()
+
+    def flush_core(self, core_id: int) -> None:
+        """Cold microarchitectural state for one core (caches, TLBs, bpred)."""
+        self.cores[core_id].flush_all()
+        o3 = self._cpus.get((core_id, "o3"))
+        if o3 is not None:
+            o3.bpred.flush()
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Complete microarchitectural state (the gem5 checkpoint analog)."""
+        state: Dict = {
+            "tick": self.eventq.now,
+            "active_model": list(self._active_model),
+            "dram": self.dram.state_dict(),
+            "cores": [core.state_dict() for core in self.cores],
+            "bpred": {},
+        }
+        for (core_id, model), cpu in self._cpus.items():
+            if model == "o3":
+                state["bpred"][core_id] = cpu.bpred.state_dict()
+        return state
+
+    def load_state(self, state: Dict) -> None:
+        self._active_model = list(state["active_model"])
+        self.dram.load_state(state["dram"])
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.load_state(core_state)
+        for core_id, bpred_state in state["bpred"].items():
+            self.cpu(int(core_id), "o3").bpred.load_state(bpred_state)
+
+    def __repr__(self) -> str:
+        return "SimulatedSystem(%s, %s, %d cores)" % (
+            self.name, self.isa.name, self.num_cores,
+        )

@@ -1,0 +1,86 @@
+"""Tick-based time base, mirroring gem5's picosecond tick convention.
+
+One *tick* is one picosecond of simulated time.  Components that run at a
+clock (CPUs, caches, memory controllers) belong to a :class:`ClockDomain`
+which converts between cycles and ticks.  Using an integer time base keeps
+event ordering exact and checkpointable.
+"""
+
+from __future__ import annotations
+
+TICKS_PER_SECOND = 10**12
+
+
+class Frequency:
+    """A clock frequency with exact tick arithmetic.
+
+    >>> Frequency.from_ghz(1).period_ticks
+    1000
+    """
+
+    __slots__ = ("hertz",)
+
+    def __init__(self, hertz: int):
+        if hertz <= 0:
+            raise ValueError("frequency must be positive, got %r" % hertz)
+        if TICKS_PER_SECOND % hertz != 0:
+            raise ValueError(
+                "frequency %d Hz does not divide the %d ticks/s time base"
+                % (hertz, TICKS_PER_SECOND)
+            )
+        self.hertz = hertz
+
+    @classmethod
+    def from_mhz(cls, mhz: int) -> "Frequency":
+        return cls(mhz * 10**6)
+
+    @classmethod
+    def from_ghz(cls, ghz: int) -> "Frequency":
+        return cls(ghz * 10**9)
+
+    @property
+    def period_ticks(self) -> int:
+        """Length of one cycle in ticks."""
+        return TICKS_PER_SECOND // self.hertz
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Frequency) and other.hertz == self.hertz
+
+    def __hash__(self) -> int:
+        return hash(("Frequency", self.hertz))
+
+    def __repr__(self) -> str:
+        if self.hertz % 10**9 == 0:
+            return "Frequency(%dGHz)" % (self.hertz // 10**9)
+        if self.hertz % 10**6 == 0:
+            return "Frequency(%dMHz)" % (self.hertz // 10**6)
+        return "Frequency(%dHz)" % self.hertz
+
+
+class ClockDomain:
+    """Converts between a component's cycles and global ticks.
+
+    gem5 attaches every clocked object to a clock domain; we do the same so
+    that, e.g., a 1 GHz core and an 800 MHz memory bus can coexist on one
+    event queue.
+    """
+
+    __slots__ = ("frequency",)
+
+    def __init__(self, frequency: Frequency):
+        self.frequency = frequency
+
+    def cycles_to_ticks(self, cycles: int) -> int:
+        return cycles * self.frequency.period_ticks
+
+    def ticks_to_cycles(self, ticks: int) -> int:
+        """Whole cycles elapsed after ``ticks`` ticks (rounds down)."""
+        return ticks // self.frequency.period_ticks
+
+    def next_cycle_edge(self, tick: int) -> int:
+        """The first clock edge at or after ``tick``."""
+        period = self.frequency.period_ticks
+        return ((tick + period - 1) // period) * period
+
+    def __repr__(self) -> str:
+        return "ClockDomain(%r)" % self.frequency

@@ -1,0 +1,39 @@
+"""The vSwarm workload suite, ported to the simulated RISC-V and x86 stacks.
+
+Mirrors the benchmarks the thesis ports (§3.1.1):
+
+* **standalone functions** — Fibonacci, AES, Auth, each in Go, Python and
+  NodeJS (Table 3.2; :mod:`repro.workloads.standalone`),
+* **online shop** — six functions from Google's Online Boutique
+  (Table 3.3; :mod:`repro.workloads.onlineshop`),
+* **hotel** — six Go microfunctions over a database plus Memcached
+  (Table 3.4; :mod:`repro.workloads.hotel`).
+
+Each function has a *real handler* (actual AES rounds, actual database
+queries against :mod:`repro.db`) and a *work model* that translates what
+the handler did into an IR program for the simulator, shaped by the
+runtime model (:mod:`repro.workloads.runtime`) and the machine scale.
+"""
+
+from repro.workloads.builder import WorkBuilder
+from repro.workloads.catalog import (
+    HOTEL_FUNCTIONS,
+    ONLINESHOP_FUNCTIONS,
+    STANDALONE_FUNCTIONS,
+    all_functions,
+    get_function,
+)
+from repro.workloads.function import VSwarmFunction
+from repro.workloads.runtime import RUNTIMES, RuntimeModel
+
+__all__ = [
+    "HOTEL_FUNCTIONS",
+    "ONLINESHOP_FUNCTIONS",
+    "RUNTIMES",
+    "RuntimeModel",
+    "STANDALONE_FUNCTIONS",
+    "VSwarmFunction",
+    "WorkBuilder",
+    "all_functions",
+    "get_function",
+]

@@ -1,0 +1,91 @@
+"""System boot and platform-preparation programs.
+
+Setup mode boots the full system with the Atomic core before taking the
+checkpoint the detailed runs restore from (§4.1.2.2) — a multi-hour
+affair in the real gem5 runs (the Cassandra/RISC-V container boot alone
+took the thesis about a week of simulation).  Boot programs accept a
+``fidelity`` divisor on top of the experiment scale: setup mode runs
+before the measured region, so it trades detail for wall time exactly as
+the thesis's Atomic-core fast-forward does.  These builders produce the boot-path IR:
+bootloader (OpenSBI on RISC-V, where it is a separate artifact gem5 needs
+to be handed explicitly, §3.4.2.3 — built into the kernel image on x86),
+kernel initialisation, userspace bring-up, and the container engine
+start.
+"""
+
+from __future__ import annotations
+
+from repro.core.scale import SimScale
+from repro.sim.isa import ir
+
+#: Native dynamic instruction counts of the boot phases.
+OPENSBI_INSTRUCTIONS = 2_000_000
+KERNEL_BOOT_INSTRUCTIONS = 90_000_000
+USERSPACE_BOOT_INSTRUCTIONS = 60_000_000
+DOCKERD_START_INSTRUCTIONS = 25_000_000
+
+KERNEL_DATA_BYTES = 24 << 20
+USERSPACE_DATA_BYTES = 48 << 20
+
+
+def build_boot_program(isa_name: str, scale: SimScale, seed: int = 0,
+                       with_container_engine: bool = True,
+                       fidelity: int = 8) -> ir.Program:
+    """The full-system boot path for one ISA.
+
+    The RISC-V boot includes the OpenSBI stage that x86 folds into the
+    kernel image; everything else is the same stack (Ubuntu Jammy,
+    Linux 5.15.59, Docker 25) the thesis uses on both platforms.
+    """
+    scale = SimScale(time=scale.time * fidelity, space=scale.space)
+    program = ir.Program("boot.%s" % isa_name, seed=seed)
+    kernel_data = program.space.alloc(
+        "kernel.data", scale.data_bytes(KERNEL_DATA_BYTES), segment="kernel"
+    )
+    user_data = program.space.alloc(
+        "userspace.data", scale.data_bytes(USERSPACE_DATA_BYTES)
+    )
+
+    stages = []
+    if isa_name == "riscv":
+        stages.append(ir.straightline_block(
+            scale.instrs(OPENSBI_INSTRUCTIONS), data_region=kernel_data, kind="stack",
+        ))
+    stages.append(ir.straightline_block(
+        scale.instrs(KERNEL_BOOT_INSTRUCTIONS), data_region=kernel_data, kind="stack",
+    ))
+    stages.append(ir.straightline_block(
+        scale.instrs(USERSPACE_BOOT_INSTRUCTIONS), data_region=user_data, kind="stack",
+    ))
+    if with_container_engine:
+        stages.append(ir.straightline_block(
+            scale.instrs(DOCKERD_START_INSTRUCTIONS), data_region=user_data, kind="stack",
+        ))
+    program.add_routine(ir.Routine("boot", ir.Seq(stages), segment="kernel"), entry=True)
+    return program
+
+
+def build_db_boot_program(store, isa_name: str, scale: SimScale,
+                          seed: int = 0, fidelity: int = 64) -> ir.Program:
+    """Boot path of a database container (Cassandra's is enormous).
+
+    JVM-hosted stores pay class loading and interpreter warm-up on top of
+    the base boot work; the thesis measured Cassandra container boots of
+    ~17 minutes under QEMU RISC-V emulation versus 30-40s natively
+    (§3.3.3.2).
+    """
+    profile = store.boot_profile
+    scale = SimScale(time=scale.time * fidelity, space=scale.space)
+    program = ir.Program("dbboot.%s.%s" % (store.name, isa_name), seed=seed)
+    heap = program.space.alloc("db.heap", scale.data_bytes(profile.resident_bytes))
+    instructions = profile.instructions
+    if profile.jvm:
+        # Class verification + interpreter until the JIT catches up.
+        instructions = int(instructions * 1.35)
+    program.add_routine(
+        ir.Routine("dbboot", ir.straightline_block(
+            scale.instrs(instructions), data_region=heap, kind="stack",
+        )),
+        entry=True,
+    )
+    return program

@@ -1,0 +1,435 @@
+"""WorkBuilder: turns one function invocation into an IR program.
+
+The builder is the bridge between the functional world (handlers that
+really computed something, datastores that really answered queries) and
+the simulated world (instruction and address streams).  For each
+invocation it assembles a program with this shape::
+
+    main:
+        [init]          # cold starts only: runtime bring-up, imports,
+                        # JIT compilation, DB driver connection setup
+        request:        # every request, same program counters:
+            runtime per-request overhead (RPC loop, kernel net stack)
+            request deserialization
+            handler work   (emitted by the function model, shaped by the
+                            runtime's execution regime)
+            response serialization
+
+Address stability: runtime regions are pre-allocated in a fixed order and
+the ``request`` routine is laid out before the cold-only ``init`` routine,
+so all warm invocations of a function touch identical code and data
+addresses — the property warm-execution locality depends on.
+
+Scaling: dynamic instruction counts are divided by ``scale.time`` and
+footprints by ``scale.space`` (see :mod:`repro.core.scale`).  Counts
+passed to the emission methods are *native* unless ``scaled=False``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Union
+
+from repro.core.scale import SimScale
+from repro.db.engine import WorkReceipt
+from repro.sim.isa import ir
+from repro.workloads.runtime import RuntimeModel
+
+_SERIALIZE_INSTRS_PER_BYTE = 5
+_DB_CONNECT_INSTRS = 8_000_000  # driver topology discovery + prepared stmts
+_CACHE_CONNECT_INSTRS = 600_000
+
+#: Native instructions per unit of datastore work, by service class.  A
+#: primary-database operation crosses a container boundary into a full
+#: query engine (CQL parse, plan, JVM execution for Cassandra), while a
+#: memcached op is a thin slab lookup — the asymmetry behind the hotel
+#: suite's cold/warm cliff.
+SERVICE_COSTS = {
+    "db": {
+        "op": 1_500_000, "row_scanned": 4_000, "row_returned": 25_000,
+        "byte": 40, "probe": 3_000, "cpu": 50,
+    },
+    "memcached": {
+        "op": 40_000, "row_scanned": 500, "row_returned": 2_000,
+        "byte": 1, "probe": 500, "cpu": 10,
+    },
+}
+_DEFAULT_SERVICE_COST = {
+    "op": 500_000, "row_scanned": 2_000, "row_returned": 10_000,
+    "byte": 10, "probe": 1_000, "cpu": 25,
+}
+
+
+#: Code-revisitation factors: dynamic instructions per distinct static
+#: instruction on the two big straight-line paths.  Init paths re-enter
+#: library routines heavily; the per-request RPC path somewhat less.
+#: Default init-path code revisitation (runtimes override; see
+#: RuntimeModel.init_code_reuse).
+INIT_CODE_REUSE = 8
+REQUEST_CODE_REUSE = 1
+#: Driver/query call graphs revisit less: connections walk mostly unique
+#: code, per-request driver paths re-enter shared helpers.
+CONNECT_CODE_REUSE = 2
+SERVICE_CODE_REUSE = 4
+
+
+def _reused_straightline(scaled_instrs: int, data_region, kind: str,
+                         reuse: int) -> ir.StructureNode:
+    """A straight-line path with ``reuse``-fold code revisitation.
+
+    Lowered as a loop over a footprint of ``scaled_instrs / reuse``
+    distinct instructions: dynamic count is preserved, the I-footprint
+    shrinks by the reuse factor, and iterations re-touch the same lines —
+    matching how real init code repeatedly calls allocator/linker/libc
+    routines rather than executing megabytes of unique code.
+    """
+    if reuse <= 1:
+        return ir.straightline_block(scaled_instrs, data_region=data_region, kind=kind)
+    body = ir.straightline_block(
+        max(1, scaled_instrs // reuse), data_region=data_region, kind=kind,
+    )
+    return ir.Loop(body, trips=reuse)
+
+
+class WorkBuilder:
+    """Collects IR for one invocation and assembles the program."""
+
+    def __init__(
+        self,
+        function_name: str,
+        runtime: RuntimeModel,
+        scale: SimScale,
+        cold: bool,
+        jit_warm: bool = False,
+        seed: int = 0,
+        init_factor: float = 1.0,
+    ):
+        mode = "cold" if cold else "warm"
+        self.runtime = runtime
+        self.scale = scale
+        self.cold = cold
+        self.jit_warm = jit_warm
+        #: Per-function weight on the runtime init path: functions with a
+        #: lean import set (the thesis's emailservice) cold-start cheaper
+        #: than ones dragging in heavy dependency trees.
+        self.init_factor = init_factor
+        self.program = ir.Program("%s.%s" % (function_name, mode), seed=seed)
+        self._regions: Dict[str, ir.Region] = {}
+        self._handler_nodes: List[ir.StructureNode] = []
+        self._stack: List[List[ir.StructureNode]] = [self._handler_nodes]
+        self._cold_extra_instrs = 0.0
+        self._built = False
+        #: Set by work models when the response is a pre-marshalled cached
+        #: blob (memcached hit): reply serialization is a copy, not an encode.
+        self.response_passthrough = False
+
+        # Fixed-order runtime regions: identical bases in cold and warm
+        # programs of the same function.
+        self._rt_init_data = self.region("rt.init_data", runtime.init_data_bytes or 4096)
+        self._rt_overhead_data = self.region("rt.overhead_data", runtime.overhead_data_bytes)
+        self._rt_interp = self.region("rt.interp", max(4096, runtime.interp_table_bytes))
+        self._req_buf = self.region("rt.request_buf", 16 * 1024)
+        self._resp_buf = self.region("rt.response_buf", 64 * 1024)
+
+    # -- regions --------------------------------------------------------------
+
+    def region(self, name: str, native_bytes: int, segment: str = "heap") -> ir.Region:
+        """Get-or-create a named data region (space-scaled)."""
+        if name not in self._regions:
+            self._regions[name] = self.program.space.alloc(
+                name, self.scale.data_bytes(native_bytes), segment=segment
+            )
+        return self._regions[name]
+
+    # -- emission -----------------------------------------------------------------
+
+    def _emit(self, node: ir.StructureNode) -> None:
+        self._stack[-1].append(node)
+
+    def _count(self, native: float, scaled: bool) -> int:
+        return self.scale.instrs(native) if scaled else max(1, int(round(native)))
+
+    def compute(
+        self,
+        ialu: float = 0,
+        imul: float = 0,
+        idiv: float = 0,
+        falu: float = 0,
+        fmul: float = 0,
+        fdiv: float = 0,
+        native: bool = False,
+        ilp: int = 4,
+        scaled: bool = True,
+    ) -> None:
+        """Handler compute.  ``native=True`` bypasses the interpreter
+        (C extensions, crypto libraries); otherwise the runtime's
+        execution regime wraps the work in dispatch cost."""
+        units = ialu + imul + idiv + falu + fmul + fdiv
+        if units <= 0:
+            raise ValueError("compute needs at least one op unit")
+        self._dispatch(units, native, scaled)
+        ops = []
+        for kind, count in (
+            (ir.OP_IALU, ialu), (ir.OP_IMUL, imul), (ir.OP_IDIV, idiv),
+            (ir.OP_FALU, falu), (ir.OP_FMUL, fmul), (ir.OP_FDIV, fdiv),
+        ):
+            if count > 0:
+                ops.append(ir.IROp(kind, count=self._count(count, scaled)))
+        self._emit(ir.Block(ops, kind="app", ilp=ilp))
+
+    def _dispatch(self, units: float, native: bool, scaled: bool) -> None:
+        """Interpreter/JIT dispatch work around ``units`` of app work."""
+        if native or not self.runtime.interpreted:
+            return
+        dispatch_ialu = self.runtime.dispatch_cost(units, self.jit_warm)
+        if dispatch_ialu <= 0:
+            return
+        dispatch_loads = units * self.runtime.dispatch_loads_per_unit
+        if self.runtime.jit and self.jit_warm:
+            dispatch_loads *= self.runtime.jitted_dispatch_factor
+        ops = [ir.IROp(ir.OP_IALU, count=self._count(dispatch_ialu, scaled))]
+        if dispatch_loads >= 1:
+            ops.append(
+                ir.IROp(
+                    ir.OP_LOAD,
+                    count=self._count(dispatch_loads, scaled),
+                    region=self._rt_interp,
+                    pattern=ir.HotColdPattern(hot_fraction=0.08, hot_probability=0.92),
+                )
+            )
+        self._emit(ir.Block(ops, kind="stack", ilp=2))
+
+    def touch(
+        self,
+        region: Union[str, ir.Region],
+        load_bytes: float = 0,
+        store_bytes: float = 0,
+        loads: Optional[float] = None,
+        stores: Optional[float] = None,
+        stride: int = 64,
+        pattern: Optional[ir.AddressPattern] = None,
+        native: bool = True,
+        ialu_per_access: int = 2,
+        region_bytes: Optional[int] = None,
+    ) -> None:
+        """Memory traffic over a data region.
+
+        Byte quantities are native and space-scaled (an access per
+        ``stride`` bytes of the *scaled* footprint); explicit ``loads`` /
+        ``stores`` counts are native and time-scaled.
+        """
+        if isinstance(region, str):
+            if region_bytes is None and region not in self._regions:
+                raise ValueError("region %r not allocated; pass region_bytes" % region)
+            region = self.region(region, region_bytes or 0)
+        load_count = 0
+        if loads is not None:
+            load_count = self.scale.instrs(loads)
+        elif load_bytes:
+            load_count = max(1, self.scale.data_bytes(int(load_bytes), floor=stride) // stride)
+        store_count = 0
+        if stores is not None:
+            store_count = self.scale.instrs(stores)
+        elif store_bytes:
+            store_count = max(1, self.scale.data_bytes(int(store_bytes), floor=stride) // stride)
+        if load_count == 0 and store_count == 0:
+            raise ValueError("touch needs loads or stores")
+
+        self._dispatch(load_count + store_count, native, scaled=False)
+        pattern = pattern or ir.StridePattern(stride=stride)
+        ops: List[ir.IROp] = []
+        if load_count:
+            ops.append(ir.IROp(ir.OP_LOAD, count=load_count, region=region, pattern=pattern))
+        if ialu_per_access:
+            ops.append(ir.IROp(ir.OP_IALU,
+                               count=max(1, (load_count + store_count) * ialu_per_access)))
+        if store_count:
+            ops.append(ir.IROp(ir.OP_STORE, count=store_count, region=region, pattern=pattern))
+        self._emit(ir.Block(ops, kind="app", ilp=4))
+
+    def branches(self, count: float, predictability: float = 0.9,
+                 scaled: bool = True) -> None:
+        """Data-dependent branches (mispredict fodder)."""
+        self._emit(ir.Block([
+            ir.IROp(ir.OP_BRANCH, count=self._count(count, scaled),
+                    taken_probability=predictability),
+        ], kind="app"))
+
+    def straightline(self, native_instrs: float, data_region: Optional[ir.Region] = None,
+                     kind: str = "stack", reuse: int = 1) -> None:
+        """Once-through code with an honest I-footprint (init paths).
+
+        ``reuse`` models code revisitation within the path (library
+        functions called repeatedly during init): the footprint shrinks by
+        the factor while the dynamic count stays put.
+        """
+        self._emit(_reused_straightline(
+            self.scale.instrs(native_instrs), data_region, kind, reuse,
+        ))
+
+    def syscalls(self, count: int = 1) -> None:
+        self._emit(ir.Block([ir.IROp(ir.OP_SYSCALL, count=count)], kind="stack"))
+
+    @contextmanager
+    def loop(self, trips: int, scale_trips: bool = False):
+        """Structural loop; emissions inside happen once per trip.
+
+        With ``scale_trips=False`` (default) trips are structural (AES
+        rounds); inner emissions should then use native counts as usual.
+        With ``scale_trips=True`` the trip count is time-scaled — inner
+        emissions should pass ``scaled=False`` to avoid double scaling.
+        """
+        collector: List[ir.StructureNode] = []
+        self._stack.append(collector)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+        effective = self.scale.trips(trips) if scale_trips else max(1, trips)
+        self._emit(ir.Loop(ir.Seq(collector), trips=effective))
+
+    # -- datastore work ------------------------------------------------------------
+
+    def service_work(self, service: str, receipt: WorkReceipt,
+                     data_bytes_native: int) -> None:
+        """Charge the work a datastore receipt describes.
+
+        Per-operation costs come from :data:`SERVICE_COSTS` keyed by the
+        service's binding name: each round trip pays the client/driver +
+        server query-engine path, scanned and returned rows pay engine and
+        deserialization work, and the bytes moved scatter over a data
+        region sized from the store's real resident payload (so big stores
+        mean big footprints and cold misses).
+        """
+        if receipt.ops == 0 and receipt.total_bytes() == 0 and receipt.cpu_work == 0:
+            return
+        costs = SERVICE_COSTS.get(service, _DEFAULT_SERVICE_COST)
+        data = self.region("svc.%s.data" % service, max(4096, data_bytes_native))
+        index = self.region("svc.%s.index" % service, max(2048, data_bytes_native // 8))
+
+        instrs = (
+            receipt.ops * costs["op"]
+            + receipt.rows_scanned * costs["row_scanned"]
+            + receipt.rows_returned * costs["row_returned"]
+            + receipt.total_bytes() * costs["byte"]
+            + (receipt.index_probes + receipt.structure_misses) * costs["probe"]
+            + receipt.cpu_work * costs["cpu"]
+        )
+        # Engine-internal work (JIT-compiled query execution) is dense app
+        # code; the driver/RPC/kernel share of each round trip is software
+        # stack, where the per-ISA path-length difference applies — and it
+        # has a real code footprint (the driver call graph), emitted as a
+        # reused straight-line path so warm requests re-fetch it.
+        self.compute(ialu=max(1.0, instrs * 0.6), native=True, ilp=3)
+        self._emit(_reused_straightline(
+            self.scale.instrs(max(1.0, instrs * 0.4)), None, "stack",
+            SERVICE_CODE_REUSE,
+        ))
+
+        if receipt.bytes_read or receipt.bytes_written:
+            # Sequential runs (SSTable/collection scans) prefetch well;
+            # point reads scatter.  Memcached values are slab-contiguous
+            # and bulk-copied (wide accesses cover two lines per touch).
+            if service == "memcached":
+                pattern, stride = ir.StridePattern(stride=128), 128
+            elif receipt.rows_scanned > 4 * max(1, receipt.rows_returned):
+                pattern, stride = ir.StridePattern(stride=64), 64
+            else:
+                pattern, stride = ir.RandomPattern(align=64), 64
+            self.touch(
+                data,
+                load_bytes=receipt.bytes_read,
+                store_bytes=receipt.bytes_written,
+                stride=stride,
+                pattern=pattern,
+                native=True,
+            )
+        probes = receipt.index_probes + receipt.structure_misses
+        if probes:
+            self.touch(index, loads=probes * 4, pattern=ir.RandomPattern(align=16),
+                       native=True)
+
+    def cold_connect(self, kind: str = "database") -> None:
+        """Driver connection setup, charged only on cold invocations."""
+        if not self.cold:
+            return
+        instrs = _DB_CONNECT_INSTRS if kind == "database" else _CACHE_CONNECT_INSTRS
+        self._cold_extra_instrs += instrs
+
+    # -- assembly ---------------------------------------------------------------------
+
+    def build(self, request_bytes: int = 64, response_bytes: int = 64) -> ir.Program:
+        """Assemble the invocation program (callable once per builder)."""
+        if self._built:
+            raise RuntimeError("builder already built a program")
+        self._built = True
+        rt = self.runtime
+        scale = self.scale
+
+        request_nodes: List[ir.StructureNode] = []
+        # Per-request runtime overhead: RPC receive, scheduling, kernel
+        # network path.  Straight-line at stable PCs.
+        request_nodes.append(ir.Block([ir.IROp(ir.OP_SYSCALL, count=2)], kind="stack"))
+        request_nodes.append(_reused_straightline(
+            scale.instrs(rt.request_overhead_instructions),
+            self._rt_overhead_data,
+            rt.overhead_kind,
+            REQUEST_CODE_REUSE,
+        ))
+        # Request deserialization.
+        request_nodes.append(ir.Block([
+            ir.IROp(ir.OP_LOAD,
+                    count=max(1, scale.instrs(request_bytes / 4)),
+                    region=self._req_buf,
+                    pattern=ir.StridePattern(stride=8)),
+            ir.IROp(ir.OP_IALU,
+                    count=max(1, scale.instrs(request_bytes
+                                              * _SERIALIZE_INSTRS_PER_BYTE))),
+        ], kind="rtpath"))
+        request_nodes.extend(self._handler_nodes)
+        # Response serialization + send.
+        serialize_per_byte = (0.5 if self.response_passthrough
+                              else _SERIALIZE_INSTRS_PER_BYTE)
+        request_nodes.append(ir.Block([
+            ir.IROp(ir.OP_IALU,
+                    count=max(1, scale.instrs(response_bytes * serialize_per_byte))),
+            ir.IROp(ir.OP_STORE,
+                    count=max(1, scale.instrs(response_bytes / 4)),
+                    region=self._resp_buf,
+                    pattern=ir.StridePattern(stride=8)),
+            ir.IROp(ir.OP_SYSCALL, count=1),
+        ], kind="rtpath"))
+
+        self.program.add_routine(ir.Routine("request", ir.Seq(request_nodes)))
+
+        main_nodes: List[ir.StructureNode] = []
+        if self.cold:
+            init_nodes: List[ir.StructureNode] = [
+                _reused_straightline(
+                    scale.instrs(rt.init_instructions * self.init_factor),
+                    self._rt_init_data,
+                    "stack",
+                    rt.init_code_reuse,
+                )
+            ]
+            if rt.jit:
+                init_nodes.append(_reused_straightline(
+                    scale.instrs(rt.jit_compile_instructions),
+                    self._rt_interp,
+                    "stack",
+                    rt.init_code_reuse,
+                ))
+            if self._cold_extra_instrs:
+                init_nodes.append(_reused_straightline(
+                    scale.instrs(self._cold_extra_instrs),
+                    self._rt_init_data,
+                    "stack",
+                    CONNECT_CODE_REUSE,
+                ))
+            self.program.add_routine(ir.Routine("init", ir.Seq(init_nodes)))
+            main_nodes.append(ir.Call("init"))
+        main_nodes.append(ir.Call("request"))
+        self.program.add_routine(ir.Routine("main", ir.Seq(main_nodes)))
+        self.program.entry = "main"
+        self.program.validate()
+        return self.program

@@ -1,0 +1,93 @@
+"""Workload catalog: every benchmark, plus the survey data tables.
+
+Provides the registry the harness and benches index into, and the static
+survey data the thesis tabulates: the benchmark-suite comparison
+(Table 3.1) and the third-party RISC-V container sizes found on Docker
+Hub (Table 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.extras import make_extras
+from repro.workloads.function import VSwarmFunction
+from repro.workloads.hotel import make_hotel_functions
+from repro.workloads.onlineshop import make_onlineshop
+from repro.workloads.standalone import make_standalone
+
+#: Table 3.2: standalone functions x runtimes.
+STANDALONE_MATRIX = [
+    (base, runtime)
+    for base in ("fibonacci", "aes", "auth")
+    for runtime in ("go", "python", "nodejs")
+]
+
+STANDALONE_FUNCTIONS: List[VSwarmFunction] = [
+    make_standalone(base, runtime) for base, runtime in STANDALONE_MATRIX
+]
+ONLINESHOP_FUNCTIONS: List[VSwarmFunction] = make_onlineshop()
+HOTEL_FUNCTIONS: List[VSwarmFunction] = make_hotel_functions()
+#: Extension workloads beyond the thesis's ported set (its §6 plan).
+EXTRA_FUNCTIONS: List[VSwarmFunction] = make_extras()
+
+
+def all_functions(include_extras: bool = False) -> List[VSwarmFunction]:
+    """Every catalogued benchmark (the thesis's 21, plus extensions)."""
+    functions = STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS + HOTEL_FUNCTIONS
+    if include_extras:
+        functions = functions + EXTRA_FUNCTIONS
+    return functions
+
+
+_BY_NAME: Dict[str, VSwarmFunction] = {
+    fn.name: fn for fn in all_functions(include_extras=True)
+}
+
+
+def get_function(name: str) -> VSwarmFunction:
+    """Look up any benchmark function (extensions included) by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError("no benchmark function %r (have %s)"
+                       % (name, sorted(_BY_NAME))) from None
+
+
+#: Table 3.1: the serverless benchmark-suite survey.
+BENCHMARK_SUITE_SURVEY = [
+    {"suite": "FunctionBench", "languages": ["Python"],
+     "infrastructure": "Public & Private", "isas": ["x86"], "gem5": False},
+    {"suite": "ServerlessBench", "languages": ["C", "Java", "Python", "NodeJs", "Ruby"],
+     "infrastructure": "Public & Private", "isas": ["x86"], "gem5": False},
+    {"suite": "FaaSdom", "languages": ["Node.js", "Python", "Go", ".NET"],
+     "infrastructure": "Public", "isas": ["x86"], "gem5": False},
+    {"suite": "BeFaaS", "languages": ["Node.js"],
+     "infrastructure": "Public & Private", "isas": ["x86"], "gem5": False},
+    {"suite": "SeBS", "languages": ["Python", "Node.js"],
+     "infrastructure": "Public", "isas": ["x86"], "gem5": False},
+    {"suite": "vSwarm", "languages": ["Python", "Go", "Node.js"],
+     "infrastructure": "Private", "isas": ["x86", "Arm"], "gem5": True},
+]
+
+#: Table 4.5: the Natheesan Docker Hub profile's riscv64 image sizes (MB),
+#: against which the thesis compares its own ("GPour") builds.  The hotel
+#: images from that profile attempted to connect to a (non-existent on
+#: RISC-V) MongoDB and are therefore not reported, as in the thesis.
+NATHEESAN_RISCV_SIZES_MB = {
+    "fibonacci-go": 6.72,
+    "fibonacci-python": 299.56,
+    "fibonacci-nodejs": 107.74,
+    "aes-go": 6.95,
+    "aes-python": 299.62,
+    "aes-nodejs": 107.81,
+    "auth-go": 6.95,
+    "auth-python": 299.57,
+    "auth-nodejs": 121.21,
+    "productcatalogservice-go": 26.15,
+    "shippingservice-go": 26.14,
+    "recommendationservice-python": 401.46,
+    "emailservice-python": 313.06,
+    "currencyservice-nodejs": 58.16,
+    "paymentservice-nodejs": 57.07,
+}

@@ -1,0 +1,264 @@
+"""Extension workloads: the rest of the vSwarm catalog (§6 future work).
+
+"We plan to port the rest of the vSwarm applications to RISC-V and enable
+their execution in the gem5 simulator."  These models extend the ported
+set with three more vSwarm families:
+
+* **compression** — zlib-compresses the request payload (for real, via
+  the standard library) and returns size statistics;
+* **image-rotate** — rotates an in-memory greyscale image 90° (real
+  matrix transpose-and-reverse);
+* **video-analytics** — the chained pipeline: a Go *streaming* driver
+  invokes the Python *decoder*, which invokes the Python *recognition*
+  stage (a real fixed-point dot-product classifier).  Chained invocations
+  flow through the FaaS platform, so each stage's cold start, receipts
+  and work model compose into the driver's measured request.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Dict, List, Optional
+
+from repro.serverless.faas import FaasPlatform
+from repro.sim.isa import ir
+from repro.workloads.function import VSwarmFunction
+
+FRAME_WIDTH = 64
+FRAME_HEIGHT = 48
+CLASSES = 10
+
+
+class Downstream:
+    """A chained-function client: invokes a target through the platform.
+
+    Registered as a service so handlers stay platform-agnostic; every call
+    records the child's invocation record onto the caller's record, which
+    is how the work models compose.
+    """
+
+    def __init__(self, platform: FaasPlatform, target: str):
+        self.platform = platform
+        self.target = target
+
+    def call(self, record, payload: Dict[str, Any]) -> Any:
+        child = self.platform.invoke(self.target, payload)
+        record.children.append(child)
+        return child.result
+
+
+class CompressionFunction(VSwarmFunction):
+    """Go: zlib-compress the payload (vSwarm's compression benchmark)."""
+
+    suite = "extras"
+    app_layer_mb = {"x86": 1.8, "riscv": 1.5}
+
+    def __init__(self):
+        super().__init__("compression-go", "go")
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        rng = random.Random(17)
+        words = ["serverless", "riscv", "gem5", "vswarm", "container", "cold"]
+        text = " ".join(rng.choice(words) for _ in range(800))
+        return {"data": text}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        data = payload.get("data", "").encode()
+        compressed = zlib.compress(data, level=6)
+        ctx.meter("input_bytes", len(data))
+        ctx.meter("output_bytes", len(compressed))
+        return {
+            "original": len(data),
+            "compressed": len(compressed),
+            "ratio": round(len(data) / max(1, len(compressed)), 3),
+            "crc32": zlib.crc32(data),
+        }
+
+    def build_work(self, builder, record, services) -> None:
+        input_bytes = int(record.metrics.get("input_bytes", 4096))
+        window = builder.region("compress.window", 32 * 1024)
+        # LZ77 window probes + Huffman coding: ~60 instrs/byte native.
+        builder.touch(window, loads=input_bytes * 3,
+                      pattern=ir.HotColdPattern(hot_fraction=0.25,
+                                                hot_probability=0.8),
+                      native=True)
+        builder.compute(ialu=input_bytes * 60, native=True, ilp=2)
+        builder.branches(input_bytes * 4, predictability=0.75)
+
+
+class ImageRotateFunction(VSwarmFunction):
+    """Python: rotate a greyscale frame 90 degrees clockwise."""
+
+    suite = "extras"
+    app_layer_mb = {"x86": 3.4, "riscv": 3.5}
+    image_variant = "grpc-prebuilt"
+
+    def __init__(self):
+        super().__init__("image-rotate-python", "python")
+
+    @staticmethod
+    def _synth_frame(width: int, height: int, seed: int) -> List[List[int]]:
+        rng = random.Random(seed)
+        return [[rng.randrange(256) for _x in range(width)] for _y in range(height)]
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        return {"width": FRAME_WIDTH, "height": FRAME_HEIGHT, "seed": 3}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        width = int(payload.get("width", FRAME_WIDTH))
+        height = int(payload.get("height", FRAME_HEIGHT))
+        frame = payload.get("frame") or self._synth_frame(
+            width, height, int(payload.get("seed", 0)))
+        # Real rotation: transpose then reverse rows.
+        rotated = [list(row) for row in zip(*frame[::-1])]
+        ctx.meter("pixels", width * height)
+        checksum = sum(rotated[0]) + sum(rotated[-1])
+        return {"width": len(rotated[0]), "height": len(rotated),
+                "checksum": checksum}
+
+    def build_work(self, builder, record, services) -> None:
+        pixels = int(record.metrics.get("pixels", FRAME_WIDTH * FRAME_HEIGHT))
+        frame_region = builder.region("rotate.frame", pixels * 8)
+        builder.touch(frame_region, loads=pixels, stores=pixels,
+                      stride=8, native=False)
+        builder.compute(ialu=pixels * 4, native=False)
+
+
+class RecognitionFunction(VSwarmFunction):
+    """Python: classify a frame with a fixed-point linear model."""
+
+    suite = "extras"
+    app_layer_mb = {"x86": 3.8, "riscv": 3.9}
+    image_variant = "grpc-prebuilt"
+    #: model weights load on import
+    init_factor = 1.2
+
+    def __init__(self):
+        super().__init__("recognition-python", "python")
+        rng = random.Random(29)
+        self._weights = [
+            [rng.randrange(-8, 9) for _ in range(FRAME_WIDTH)]
+            for _class in range(CLASSES)
+        ]
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        frame = ImageRotateFunction._synth_frame(FRAME_WIDTH, FRAME_HEIGHT, 5)
+        return {"frame": frame}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        frame = payload.get("frame")
+        if not frame:
+            raise ValueError("recognition needs a frame")
+        # Column means -> one feature vector, then a real dot product per class.
+        height = len(frame)
+        features = [sum(row[x] for row in frame) // height
+                    for x in range(len(frame[0]))]
+        scores = [
+            sum(w * f for w, f in zip(weights, features))
+            for weights in self._weights
+        ]
+        best = max(range(len(scores)), key=scores.__getitem__)
+        ctx.meter("macs", len(self._weights) * len(features))
+        return {"class": best, "score": scores[best]}
+
+    def build_work(self, builder, record, services) -> None:
+        macs = int(record.metrics.get("macs", CLASSES * FRAME_WIDTH))
+        weights_region = builder.region("recog.weights",
+                                        CLASSES * FRAME_WIDTH * 4)
+        builder.touch(weights_region, loads=macs, stride=4, native=True)
+        builder.compute(imul=macs, ialu=macs, native=True, ilp=4)
+
+
+class StreamingDriverFunction(VSwarmFunction):
+    """Go: the video-analytics driver — decode a frame, then classify it.
+
+    Each request drives the whole chain through the platform; its measured
+    work is its own plus every downstream stage's (cold starts included,
+    exactly like a fan-out request hitting a cold pipeline).
+    """
+
+    suite = "extras"
+    app_layer_mb = {"x86": 2.1, "riscv": 1.9}
+    required_services = ("decoder", "recognition")
+
+    def __init__(self):
+        super().__init__("video-streaming-go", "go")
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        return {"segment": "seg-%04d" % sequence, "frames": 2}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        decoder: Downstream = ctx.service("decoder")
+        recognition: Downstream = ctx.service("recognition")
+        frames = int(payload.get("frames", 1))
+        classes = []
+        for index in range(frames):
+            rotated = decoder.call(ctx.record, {
+                "width": FRAME_WIDTH, "height": FRAME_HEIGHT,
+                "seed": index + 11,
+            })
+            frame = ImageRotateFunction._synth_frame(
+                rotated["width"], rotated["height"], index + 11)
+            verdict = recognition.call(ctx.record, {"frame": frame})
+            classes.append(verdict["class"])
+        ctx.meter("frames", frames)
+        return {"segment": payload.get("segment", ""), "classes": classes}
+
+    def build_work(self, builder, record, services) -> None:
+        frames = int(record.metrics.get("frames", 1))
+        # Driver-side segment handling.
+        builder.compute(ialu=frames * 3_000, native=True)
+        # Compose the downstream stages' work, plus an RPC hop each.
+        for child in record.children:
+            child_function = _CHAIN_TARGETS.get(child.function)
+            if child_function is None:
+                continue
+            builder.straightline(120_000, kind="rtpath")  # inter-function hop
+            if child.cold:
+                builder.straightline(
+                    child_function.runtime.init_instructions
+                    * child_function.init_factor,
+                    kind="stack",
+                )
+            child_function.build_work(builder, child, services)
+
+
+def make_extras() -> List[VSwarmFunction]:
+    """The extension workloads, pipeline stages included."""
+    return [
+        CompressionFunction(),
+        ImageRotateFunction(),
+        RecognitionFunction(),
+        StreamingDriverFunction(),
+    ]
+
+
+#: Chain wiring: child function name -> model (for work composition).
+_CHAIN_TARGETS: Dict[str, VSwarmFunction] = {}
+
+
+def deploy_video_pipeline(platform: FaasPlatform, arch: str = "riscv"):
+    """Deploy the three-stage video-analytics chain onto a platform.
+
+    Returns the driver function; invoke it via ``platform.invoke``.
+    """
+    decoder = ImageRotateFunction()
+    recognition = RecognitionFunction()
+    driver = StreamingDriverFunction()
+    for function in (decoder, recognition, driver):
+        platform.engine.registry.push(function.image(arch))
+    platform.deploy(decoder.name, decoder.name, decoder.runtime_name,
+                    decoder.handler)
+    platform.deploy(recognition.name, recognition.name,
+                    recognition.runtime_name, recognition.handler)
+    platform.deploy(
+        driver.name, driver.name, driver.runtime_name, driver.handler,
+        services={
+            "decoder": Downstream(platform, decoder.name),
+            "recognition": Downstream(platform, recognition.name),
+        },
+    )
+    _CHAIN_TARGETS[decoder.name] = decoder
+    _CHAIN_TARGETS[recognition.name] = recognition
+    return driver

@@ -1,0 +1,107 @@
+"""vSwarm function base class.
+
+A :class:`VSwarmFunction` couples three things:
+
+* a **real handler** — the Python implementation of the function's logic
+  (actual crypto, actual database queries), executed by the FaaS platform;
+* a **work model** — :meth:`build_work` emits the handler's IR into a
+  :class:`~repro.workloads.builder.WorkBuilder` using the invocation
+  record (what the handler actually did) as parameters;
+* **packaging metadata** — runtime, image variant, and the per-arch app
+  layer sizes that, stacked on the base images, reproduce the container
+  size tables (Tables 4.4/4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serverless.container import ContainerImage, ImageLayer, MB, base_image
+from repro.serverless.faas import InvocationContext, InvocationRecord
+from repro.workloads.builder import WorkBuilder
+from repro.workloads.runtime import RuntimeModel, get_runtime
+
+
+class VSwarmFunction:
+    """One benchmark function: handler + work model + packaging."""
+
+    #: Which suite the function belongs to (standalone/onlineshop/hotel).
+    suite = "standalone"
+    #: Services the platform must bind ("db", "memcached", ...).
+    required_services: Tuple[str, ...] = ()
+    #: Measured application-layer compressed sizes (MB) per architecture.
+    app_layer_mb: Dict[str, float] = {"x86": 1.0, "riscv": 1.0}
+    #: Base image variant ("default", "grpc-prebuilt", ...).
+    image_variant: Optional[str] = None
+    #: Weight on the runtime's cold init path (import set size).
+    init_factor: float = 1.0
+
+    def __init__(self, name: str, runtime_name: str):
+        self.name = name
+        self.runtime_name = runtime_name
+
+    @property
+    def runtime(self) -> RuntimeModel:
+        return get_runtime(self.runtime_name)
+
+    # -- functional side -----------------------------------------------------
+
+    def handler(self, payload: Dict[str, Any], ctx: InvocationContext) -> Any:
+        raise NotImplementedError
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        """The request body the load generator sends by default."""
+        return {}
+
+    # -- simulation side ---------------------------------------------------------
+
+    def build_work(self, builder: WorkBuilder, record: InvocationRecord,
+                   services: Dict[str, Any]) -> None:
+        """Emit the handler's IR work for one recorded invocation."""
+        raise NotImplementedError
+
+    def make_builder(self, record: InvocationRecord, scale, seed: int = 0) -> WorkBuilder:
+        """A builder configured for this invocation's mode."""
+        return WorkBuilder(
+            function_name=self.name,
+            runtime=self.runtime,
+            scale=scale,
+            cold=record.cold,
+            jit_warm=record.sequence > 1,
+            seed=seed,
+            init_factor=self.init_factor,
+        )
+
+    def invocation_program(self, record: InvocationRecord, services: Dict[str, Any],
+                           scale, seed: int = 0):
+        """Full IR program for one invocation (runtime + handler + RPC)."""
+        builder = self.make_builder(record, scale, seed=seed)
+        self.build_work(builder, record, services)
+        return builder.build(
+            request_bytes=record.request_bytes,
+            response_bytes=record.response_bytes,
+        )
+
+    # -- packaging -------------------------------------------------------------------
+
+    #: Architectures without a measured app layer derive from another
+    #: arch's measurement (arm64 binaries are marginally denser than x86).
+    APP_LAYER_FALLBACK = {"arm": ("x86", 0.97)}
+
+    def image(self, arch: str) -> ContainerImage:
+        """Build this function's container image for one architecture."""
+        variant = self.image_variant or self.runtime.image_variant
+        base = base_image(self.runtime_name, arch, variant)
+        app_mb = self.app_layer_mb.get(arch)
+        if app_mb is None and arch in self.APP_LAYER_FALLBACK:
+            source, factor = self.APP_LAYER_FALLBACK[arch]
+            measured = self.app_layer_mb.get(source)
+            app_mb = measured * factor if measured is not None else None
+        if app_mb is None:
+            raise KeyError("no measured app layer size for arch %r" % arch)
+        image = base.with_layer(ImageLayer("app-%s" % self.name, int(app_mb * MB)))
+        image.name = self.name
+        return image
+
+    def __repr__(self) -> str:
+        return "%s(%s, %s)" % (type(self).__name__, self.name, self.runtime_name)

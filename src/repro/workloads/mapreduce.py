@@ -1,0 +1,172 @@
+"""vSwarm's map-reduce (corral-style) benchmark: serverless word count.
+
+A Go driver splits the corpus into shards, invokes one *mapper* per shard
+(real tokenization and counting), then a single *reducer* that merges the
+partial counts — all through the FaaS platform, so a cold run pays
+mapper-fleet cold starts exactly like a corral job hitting fresh Lambda
+sandboxes.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Any, Dict, List
+
+from repro.serverless.faas import FaasPlatform
+from repro.sim.isa import ir
+from repro.workloads.extras import Downstream
+from repro.workloads.function import VSwarmFunction
+
+_WORD_RE = re.compile(r"[a-z']+")
+
+_CORPUS_WORDS = (
+    "serverless computing has emerged as a competitive cloud paradigm the "
+    "open source riscv isa has gained interest and the first riscv systems "
+    "appear in the server market functions boot cold and warm and the "
+    "provider keeps instances waiting to amortize initialization"
+).split()
+
+
+def synth_corpus(words: int = 1200, seed: int = 13) -> str:
+    """A deterministic synthetic corpus of serverless-flavoured prose."""
+    rng = random.Random(seed)
+    return " ".join(rng.choice(_CORPUS_WORDS) for _ in range(words))
+
+
+def word_count(text: str) -> Dict[str, int]:
+    """Sequential word count: the ground truth the job must match."""
+    counts: Dict[str, int] = {}
+    for word in _WORD_RE.findall(text.lower()):
+        counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+class MapperFunction(VSwarmFunction):
+    """Go: tokenize one shard and emit partial counts."""
+
+    suite = "mapreduce"
+    app_layer_mb = {"x86": 1.6, "riscv": 1.4}
+
+    def __init__(self):
+        super().__init__("wordcount-mapper-go", "go")
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        return {"shard": synth_corpus(words=300, seed=sequence)}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        shard = payload.get("shard", "")
+        counts = word_count(shard)
+        ctx.meter("tokens", sum(counts.values()))
+        return {"counts": counts}
+
+    def build_work(self, builder, record, services) -> None:
+        tokens = int(record.metrics.get("tokens", 100))
+        table = builder.region("wc.hash", 64 * 1024)
+        builder.touch(table, loads=tokens * 2, stores=tokens,
+                      pattern=ir.RandomPattern(align=16), native=True)
+        builder.compute(ialu=tokens * 35, native=True)
+        builder.branches(tokens * 3, predictability=0.8)
+
+
+class ReducerFunction(VSwarmFunction):
+    """Go: merge partial counts into the final tally."""
+
+    suite = "mapreduce"
+    app_layer_mb = {"x86": 1.6, "riscv": 1.4}
+
+    def __init__(self):
+        super().__init__("wordcount-reducer-go", "go")
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        return {"partials": [word_count(synth_corpus(words=100, seed=s))
+                             for s in range(2)]}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        partials: List[Dict[str, int]] = payload.get("partials", [])
+        merged: Dict[str, int] = {}
+        for partial in partials:
+            for word, count in partial.items():
+                merged[word] = merged.get(word, 0) + count
+        ctx.meter("keys", sum(len(partial) for partial in partials))
+        top = sorted(merged.items(), key=lambda item: (-item[1], item[0]))[:5]
+        return {"total_words": sum(merged.values()), "distinct": len(merged),
+                "top": top}
+
+    def build_work(self, builder, record, services) -> None:
+        keys = int(record.metrics.get("keys", 50))
+        table = builder.region("wc.merge", 32 * 1024)
+        builder.touch(table, loads=keys * 2, stores=keys,
+                      pattern=ir.RandomPattern(align=16), native=True)
+        builder.compute(ialu=keys * 25, native=True)
+
+
+class WordCountDriverFunction(VSwarmFunction):
+    """Go: shard the corpus, fan out mappers, reduce."""
+
+    suite = "mapreduce"
+    app_layer_mb = {"x86": 1.9, "riscv": 1.7}
+    required_services = ("mapper", "reducer")
+
+    def __init__(self, shards: int = 3):
+        super().__init__("wordcount-driver-go", "go")
+        self.shards = shards
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        return {"corpus": synth_corpus(words=900, seed=sequence + 31)}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        corpus = payload.get("corpus", "")
+        words = corpus.split()
+        shards = max(1, self.shards)
+        shard_size = max(1, (len(words) + shards - 1) // shards)
+        mapper: Downstream = ctx.service("mapper")
+        reducer: Downstream = ctx.service("reducer")
+        partials = []
+        for start in range(0, len(words), shard_size):
+            shard = " ".join(words[start:start + shard_size])
+            partials.append(mapper.call(ctx.record, {"shard": shard})["counts"])
+        result = reducer.call(ctx.record, {"partials": partials})
+        ctx.meter("shards", len(partials))
+        return result
+
+    def build_work(self, builder, record, services) -> None:
+        shards = int(record.metrics.get("shards", self.shards))
+        builder.compute(ialu=shards * 5_000 + 2_000, native=True)
+        for child in record.children:
+            child_function = _MR_TARGETS.get(child.function)
+            if child_function is None:
+                continue
+            builder.straightline(120_000, kind="rtpath")  # fan-out hop
+            if child.cold:
+                builder.straightline(
+                    child_function.runtime.init_instructions
+                    * child_function.init_factor,
+                    kind="stack",
+                )
+            child_function.build_work(builder, child, services)
+
+
+_MR_TARGETS: Dict[str, VSwarmFunction] = {}
+
+
+def deploy_wordcount(platform: FaasPlatform, arch: str = "riscv",
+                     shards: int = 3):
+    """Deploy the map-reduce job; returns the driver function."""
+    mapper = MapperFunction()
+    reducer = ReducerFunction()
+    driver = WordCountDriverFunction(shards=shards)
+    for function in (mapper, reducer, driver):
+        platform.engine.registry.push(function.image(arch))
+    platform.deploy(mapper.name, mapper.name, "go", mapper.handler)
+    platform.deploy(reducer.name, reducer.name, "go", reducer.handler)
+    platform.deploy(
+        driver.name, driver.name, "go", driver.handler,
+        services={
+            "mapper": Downstream(platform, mapper.name),
+            "reducer": Downstream(platform, reducer.name),
+        },
+    )
+    _MR_TARGETS[mapper.name] = mapper
+    _MR_TARGETS[reducer.name] = reducer
+    return driver

@@ -1,0 +1,95 @@
+"""Reproduce-module and remaining-CLI tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import reproduce
+from repro.core.harness import clear_boot_checkpoint_cache
+from repro.core.scale import SimScale
+
+SCALE = SimScale(time=4096, space=32)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_checkpoints():
+    clear_boot_checkpoint_cache()
+    yield
+    clear_boot_checkpoint_cache()
+
+
+class TestReproduceLibrary:
+    def test_measure_standalone_shop_batch(self):
+        batch = reproduce.measure_standalone_shop("riscv", SCALE)
+        assert len(batch) == 15
+        assert all(m.cold.cycles > m.warm.cycles for m in batch.values())
+
+    def test_measure_hotel_with_database_choice(self):
+        batch = reproduce.measure_hotel("riscv", SCALE, db="redis")
+        assert len(batch) == 6
+
+    def test_progress_callback(self):
+        seen = []
+        reproduce.measure_functions(
+            [__import__("repro.workloads.catalog",
+                        fromlist=["get_function"]).get_function("aes-go")],
+            "riscv", SCALE, progress=seen.append,
+        )
+        assert seen == ["measured aes-go on riscv"]
+
+    def test_qemu_comparison_covers_both_databases(self):
+        results = reproduce.qemu_database_comparison()
+        databases = {db for db, _fn in results}
+        assert databases == {"mongodb", "cassandra"}
+        assert len(results) == 12
+
+    def test_reproduce_all_writes_figures(self, tmp_path):
+        batches = reproduce.reproduce_all(scale=SCALE, output_dir=tmp_path)
+        assert set(batches) == {
+            "riscv_standalone_shop", "x86_standalone_shop",
+            "riscv_hotel", "x86_hotel", "qemu_db_comparison",
+        }
+        written = {path.name for path in tmp_path.glob("*.txt")}
+        assert "fig4_04.txt" in written
+        assert "fig4_19.txt" in written
+        assert len(written) == 9
+        content = (tmp_path / "fig4_15.txt").read_text()
+        assert "riscv_cold_cycles" in content
+        assert "█" in content  # the chart rendered too
+
+
+class TestRemainingCli:
+    def test_suite_command(self, capsys):
+        assert main(["suite", "standalone", "--time-scale", "4096",
+                     "--space-scale", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "auth-nodejs" in out
+
+    def test_hotel_suite_with_db(self, capsys):
+        assert main(["suite", "hotel", "--db", "redis", "--time-scale",
+                     "4096", "--space-scale", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "hotel-profile-go" in out
+
+    def test_lukewarm_command(self, capsys):
+        assert main(["lukewarm", "aes-go", "--time-scale", "4096",
+                     "--space-scale", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "lukewarm" in out
+
+    def test_pipeline_command(self, capsys):
+        assert main(["pipeline", "--time-scale", "4096",
+                     "--space-scale", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "downstream invocations" in out
+
+    def test_dbcompare_command(self, capsys):
+        assert main(["dbcompare"]) == 0
+        out = capsys.readouterr().out
+        assert "mongo_cold" in out
+        assert "profile" in out
+
+    def test_reproduce_command(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "figures")
+        assert main(["reproduce", "--out", out_dir, "--time-scale", "4096",
+                     "--space-scale", "32"]) == 0
+        assert (tmp_path / "figures" / "fig4_04.txt").exists()

@@ -1,0 +1,51 @@
+"""Tests for the scaled-machine methodology helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scale import BENCH, NATIVE, SimScale, TEST
+
+
+class TestSimScale:
+    def test_native_is_identity(self):
+        assert NATIVE.instrs(12345) == 12345
+        assert NATIVE.data_bytes(99999) == 99999
+
+    def test_instrs_floor_one(self):
+        assert SimScale(time=1000, space=1).instrs(5) == 1
+
+    def test_data_floor(self):
+        assert SimScale(time=1, space=1000).data_bytes(100, floor=256) == 256
+
+    def test_projection_inverts_time_scaling(self):
+        scale = SimScale(time=256, space=16)
+        assert scale.project_cycles(1000) == 256000
+
+    def test_invalid_divisors(self):
+        with pytest.raises(ValueError):
+            SimScale(time=0)
+        with pytest.raises(ValueError):
+            SimScale(space=0)
+
+    def test_presets_ordering(self):
+        assert NATIVE.time < BENCH.time < TEST.time
+
+    def test_equality_and_hash(self):
+        assert SimScale(8, 4) == SimScale(8, 4)
+        assert SimScale(8, 4) != SimScale(8, 2)
+        assert hash(SimScale(8, 4)) == hash(SimScale(8, 4))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=10**9),
+    time=st.integers(min_value=1, max_value=10**4),
+)
+def test_property_scaling_monotone_and_bounded(count, time):
+    scale = SimScale(time=time, space=1)
+    scaled = scale.instrs(count)
+    assert 1 <= scaled
+    assert scaled <= count or scaled == 1
+    # projecting back overshoots by at most one scale quantum
+    assert abs(scale.project_cycles(scaled) - count) <= time

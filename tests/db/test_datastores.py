@@ -1,0 +1,142 @@
+"""Shared behavioural tests across all primary datastores."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import DATASTORES, make_datastore
+
+
+@pytest.fixture(params=sorted(DATASTORES))
+def store(request):
+    return make_datastore(request.param)
+
+
+class TestCrud:
+    def test_put_get_roundtrip(self, store):
+        store.put("hotels", "h1", {"name": "Grand", "city": "Athens"})
+        assert store.get("hotels", "h1") == {"name": "Grand", "city": "Athens"} or \
+            store.get("hotels", "h1")["name"] == "Grand"  # mariadb adds id column
+
+    def test_get_missing_returns_none(self, store):
+        store.put("hotels", "h1", {"name": "Grand"})
+        assert store.get("hotels", "nope") is None
+
+    def test_overwrite_replaces(self, store):
+        store.put("t", "k", {"v": 1})
+        store.put("t", "k", {"v": 2})
+        assert store.get("t", "k")["v"] == 2
+
+    def test_delete(self, store):
+        store.put("t", "k", {"v": 1})
+        assert store.delete("t", "k") is True
+        assert store.get("t", "k") is None
+        assert store.delete("t", "k") is False
+
+    def test_tables_are_isolated(self, store):
+        store.put("a", "k", {"v": "a"})
+        store.put("b", "k", {"v": "b"})
+        assert store.get("a", "k")["v"] == "a"
+        assert store.get("b", "k")["v"] == "b"
+
+    def test_scan_returns_all_records(self, store):
+        for index in range(10):
+            store.put("t", "k%02d" % index, {"v": index})
+        records = list(store.scan("t"))
+        assert len(records) == 10
+        assert sorted(record["v"] for record in records) == list(range(10))
+
+    def test_query_equality_filter(self, store):
+        store.put("rooms", "r1", {"city": "athens", "rate": 100})
+        store.put("rooms", "r2", {"city": "zurich", "rate": 200})
+        store.put("rooms", "r3", {"city": "athens", "rate": 150})
+        athens = store.query("rooms", city="athens")
+        assert len(athens) == 2
+        assert all(record["city"] == "athens" for record in athens)
+
+    def test_count(self, store):
+        for index in range(5):
+            store.put("t", str(index), {"v": index})
+        assert store.count("t") == 5
+
+    def test_returned_records_are_copies(self, store):
+        store.put("t", "k", {"v": 1})
+        record = store.get("t", "k")
+        record["v"] = 999
+        assert store.get("t", "k")["v"] == 1
+
+
+class TestMetering:
+    def test_receipt_accumulates_and_harvests(self, store):
+        store.put("t", "k", {"v": "x" * 100})
+        receipt = store.take_receipt()
+        assert receipt.bytes_written > 100
+        assert store.take_receipt().total_bytes() == 0  # harvested
+
+    def test_get_hit_reads_bytes(self, store):
+        store.put("t", "k", {"v": "y" * 200})
+        store.take_receipt()
+        store.get("t", "k")
+        receipt = store.take_receipt()
+        assert receipt.bytes_read > 200
+        assert receipt.rows_returned == 1
+
+    def test_get_miss_counts_structure_miss(self, store):
+        store.put("t", "k", {"v": 1})
+        store.take_receipt()
+        store.get("t", "missing")
+        assert store.take_receipt().structure_misses >= 1
+
+    def test_scan_work_scales_with_rows(self, store):
+        for index in range(20):
+            store.put("t", "k%03d" % index, {"v": index})
+        store.take_receipt()
+        list(store.scan("t"))
+        few = store.take_receipt().rows_scanned
+        for index in range(20, 100):
+            store.put("t", "k%03d" % index, {"v": index})
+        store.take_receipt()
+        list(store.scan("t"))
+        many = store.take_receipt().rows_scanned
+        assert many > few
+
+    def test_data_bytes_grows(self, store):
+        before = store.data_bytes()
+        store.put("t", "k", {"payload": "z" * 500})
+        assert store.data_bytes() > before + 400
+
+
+class TestReceiptApi:
+    def test_unknown_field_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.receipt.add(frobs=1)
+
+    def test_merge(self, store):
+        from repro.db.engine import WorkReceipt
+
+        first = WorkReceipt()
+        first.add(bytes_read=10)
+        second = WorkReceipt()
+        second.add(bytes_read=5, cpu_work=3)
+        first.merge(second)
+        assert first.bytes_read == 15
+        assert first.cpu_work == 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=10**6),
+        min_size=1,
+        max_size=40,
+    ),
+    name=st.sampled_from(sorted(DATASTORES)),
+)
+def test_property_store_behaves_like_dict(entries, name):
+    store = make_datastore(name)
+    for key, value in entries.items():
+        store.put("t", key, {"v": value})
+    for key, value in entries.items():
+        assert store.get("t", key)["v"] == value
+    assert store.count("t") == len(entries)

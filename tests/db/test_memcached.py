@@ -1,0 +1,167 @@
+"""Memcached slab cache tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.memcached import MemcachedCache
+
+
+class TestBasics:
+    def test_set_get(self):
+        cache = MemcachedCache()
+        cache.set("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+
+    def test_miss_returns_none_and_counts(self):
+        cache = MemcachedCache()
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_delete(self):
+        cache = MemcachedCache()
+        cache.set("k", 1)
+        assert cache.delete("k") is True
+        assert cache.get("k") is None
+        assert cache.delete("k") is False
+
+    def test_overwrite_updates_value_and_accounting(self):
+        cache = MemcachedCache()
+        cache.set("k", "small")
+        used_small = cache.used_bytes
+        cache.set("k", "x" * 1000)
+        assert cache.get("k") == "x" * 1000
+        assert cache.used_bytes > used_small
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        cache = MemcachedCache()
+        cache.set("k", 1)
+        cache.get("k")
+        cache.get("gone")
+        assert cache.hit_rate == 0.5
+
+    def test_flush_all(self):
+        cache = MemcachedCache()
+        cache.set("a", 1)
+        cache.set("b", 2)
+        cache.flush_all()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+
+class TestTtl:
+    def test_expiry_by_logical_clock(self):
+        cache = MemcachedCache()
+        cache.set("k", "v", ttl=5)
+        assert cache.get("k") == "v"
+        cache.tick(5)
+        assert cache.get("k") is None
+
+    def test_default_ttl_applies(self):
+        cache = MemcachedCache(default_ttl=2)
+        cache.set("k", "v")
+        cache.tick(2)
+        assert cache.get("k") is None
+
+
+class TestSlabsAndEviction:
+    def test_items_land_in_size_class(self):
+        cache = MemcachedCache()
+        cache.set("tiny", 1)
+        cache.set("big", "x" * 5000)
+        assert cache._key_slab["tiny"] == 64
+        assert cache._key_slab["big"] == 8192
+
+    def test_capacity_enforced_with_lru_eviction(self):
+        cache = MemcachedCache(capacity_bytes=64 * 1024)
+        for index in range(2000):
+            cache.set("k%d" % index, index)
+        assert cache.used_bytes <= cache.capacity_bytes
+        assert cache.evictions > 0
+        # Newest keys survive, oldest were evicted.
+        assert cache.get("k1999") == 1999
+        assert cache.get("k0") is None
+
+    def test_lru_refresh_protects_hot_key(self):
+        cache = MemcachedCache(capacity_bytes=64 * 1024)
+        cache.set("hot", "value")
+        for index in range(1500):
+            cache.get("hot")
+            cache.set("filler%d" % index, index)
+        assert cache.get("hot") == "value"
+
+    def test_oversized_item_rejected(self):
+        cache = MemcachedCache(capacity_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            cache.set("huge", "x" * (1 << 20))
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemcachedCache(capacity_bytes=1024)
+
+    def test_receipt_metering(self):
+        cache = MemcachedCache()
+        cache.set("k", "x" * 100)
+        cache.get("k")
+        receipt = cache.take_receipt()
+        assert receipt.bytes_written > 100
+        assert receipt.bytes_read > 100
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "get", "delete"]),
+            st.text(alphabet="abc", min_size=1, max_size=3),
+        ),
+        max_size=200,
+    )
+)
+def test_property_accounting_consistent(operations):
+    cache = MemcachedCache(capacity_bytes=128 * 1024)
+    shadow = {}
+    for op, key in operations:
+        if op == "set":
+            cache.set(key, key * 3)
+            shadow[key] = key * 3
+        elif op == "get":
+            value = cache.get(key)
+            if value is not None:
+                assert value == shadow.get(key)
+        else:
+            cache.delete(key)
+            shadow.pop(key, None)
+    assert cache.used_bytes >= 0
+    assert len(cache) <= len(shadow)
+    recomputed = sum(chunk for chunk in cache._key_slab.values())
+    assert recomputed == cache.used_bytes
+
+
+class TestGetMulti:
+    def test_single_round_trip_for_many_keys(self):
+        cache = MemcachedCache()
+        for index in range(5):
+            cache.set("k%d" % index, index)
+        cache.take_receipt()
+        found = cache.get_multi(["k0", "k3", "missing"])
+        assert found == {"k0": 0, "k3": 3}
+        receipt = cache.take_receipt()
+        assert receipt.ops == 1            # one batched round trip
+        assert receipt.rows_returned == 2
+        assert receipt.structure_misses == 1
+
+    def test_get_multi_refreshes_lru(self):
+        cache = MemcachedCache(capacity_bytes=64 * 1024)
+        cache.set("hot", "value")
+        for index in range(1200):
+            cache.get_multi(["hot"])
+            cache.set("filler%d" % index, index)
+        assert cache.get("hot") == "value"
+
+    def test_get_multi_respects_ttl(self):
+        cache = MemcachedCache()
+        cache.set("k", "v", ttl=2)
+        cache.tick(2)
+        assert cache.get_multi(["k"]) == {}

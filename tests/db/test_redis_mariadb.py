@@ -1,0 +1,107 @@
+"""Redis and MariaDB specific behaviour beyond the shared store contract."""
+
+import pytest
+
+from repro.db.mariadb import MariaDbStore, TableSchema
+from repro.db.redis import RedisStore
+
+
+class TestRedisCommands:
+    def test_string_commands(self):
+        redis = RedisStore()
+        redis.set_value("k", "hello")
+        assert redis.get_value("k") == "hello"
+        assert redis.get_value("missing") is None
+
+    def test_hash_commands(self):
+        redis = RedisStore()
+        redis.hset("user:1", "name", "alice")
+        redis.hset("user:1", "city", "athens")
+        assert redis.hget("user:1", "name") == "alice"
+        assert redis.hgetall("user:1") == {"name": "alice", "city": "athens"}
+        assert redis.hget("user:1", "missing") is None
+
+    def test_sorted_set_range_query(self):
+        redis = RedisStore()
+        for name, score in (("a", 1.0), ("b", 5.0), ("c", 9.0)):
+            redis.zadd("scores", score, name)
+        assert redis.zrange_by_score("scores", 2.0, 8.0) == ["b"]
+        assert redis.zrange_by_score("scores", 0.0, 10.0) == ["a", "b", "c"]
+
+    def test_zadd_updates_score(self):
+        redis = RedisStore()
+        redis.zadd("scores", 1.0, "a")
+        redis.zadd("scores", 7.0, "a")
+        assert redis.zrange_by_score("scores", 6.0, 8.0) == ["a"]
+        assert redis.zrange_by_score("scores", 0.0, 2.0) == []
+
+    def test_record_interface_keys_tracked_in_zset(self):
+        redis = RedisStore()
+        redis.put("rooms", "r1", {"rate": 100})
+        redis.put("rooms", "r2", {"rate": 200})
+        redis.delete("rooms", "r1")
+        assert [row["rate"] for row in redis.scan("rooms")] == [200]
+
+    def test_metering_counts_structure_misses(self):
+        redis = RedisStore()
+        redis.take_receipt()
+        redis.get_value("nope")
+        redis.hget("nope", "f")
+        assert redis.take_receipt().structure_misses == 2
+
+
+class TestMariaDbSchema:
+    def test_schema_validates_columns(self):
+        schema = TableSchema(["id", "city"], primary_key="id")
+        schema.validate({"id": "a", "city": "athens"})
+        with pytest.raises(ValueError):
+            schema.validate({"id": "a", "planet": "mars"})
+
+    def test_primary_key_must_be_a_column(self):
+        with pytest.raises(ValueError):
+            TableSchema(["city"], primary_key="id")
+
+    def test_explicit_create_table(self):
+        store = MariaDbStore()
+        store.create_table("rooms", ["id", "city", "rate"])
+        store.put("rooms", "r1", {"city": "athens", "rate": 100})
+        assert store.get("rooms", "r1")["city"] == "athens"
+
+    def test_duplicate_table_rejected(self):
+        store = MariaDbStore()
+        store.create_table("t", ["id"])
+        with pytest.raises(ValueError):
+            store.create_table("t", ["id"])
+
+    def test_insert_with_unknown_column_rejected(self):
+        store = MariaDbStore()
+        store.create_table("t", ["id", "a"])
+        with pytest.raises(ValueError):
+            store.put("t", "k", {"b": 1})
+
+    def test_select_projection(self):
+        store = MariaDbStore()
+        store.create_table("rooms", ["id", "city", "rate"])
+        store.put("rooms", "r1", {"city": "athens", "rate": 100})
+        rows = store.select("rooms", ["city"], rate=100)
+        assert rows == [{"city": "athens"}]
+
+    def test_select_unknown_column_rejected(self):
+        store = MariaDbStore()
+        store.create_table("rooms", ["id", "city"])
+        with pytest.raises(ValueError):
+            store.select("rooms", ["stars"])
+
+    def test_implicit_schema_from_first_put(self):
+        store = MariaDbStore()
+        store.put("auto", "k", {"x": 1})
+        assert "auto" in store.tables()
+        # Implicit schema is fixed after creation.
+        with pytest.raises(ValueError):
+            store.put("auto", "k2", {"y": 2})
+
+    def test_pk_index_sorted_scan(self):
+        store = MariaDbStore()
+        for key in ("c", "a", "b"):
+            store.put("t", key, {"v": key})
+        assert [row["v"] for row in store.scan("t")] == ["a", "b", "c"]

@@ -1,0 +1,131 @@
+"""SQL front-end tests for the MariaDB-like store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.sql import SqlEngine, SqlError, tokenize
+
+
+@pytest.fixture()
+def engine():
+    sql = SqlEngine()
+    sql.execute("CREATE TABLE rooms (id, city, rate)")
+    sql.execute("INSERT INTO rooms (id, city, rate) VALUES ('r1', 'athens', 120)")
+    sql.execute("INSERT INTO rooms (id, city, rate) VALUES ('r2', 'zurich', 310)")
+    sql.execute("INSERT INTO rooms (id, city, rate) VALUES ('r3', 'athens', 95)")
+    return sql
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a FROM t WHERE x = 'y'")
+        kinds = [kind for kind, _value in tokens]
+        assert kinds == ["keyword", "word", "keyword", "word", "keyword",
+                         "word", "symbol", "string"]
+
+    def test_numbers_and_operators(self):
+        tokens = tokenize("rate >= 12.5")
+        assert ("symbol", ">=") in tokens
+        assert ("number", "12.5") in tokens
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT ;;; FROM")
+
+
+class TestSelect:
+    def test_select_star(self, engine):
+        rows = engine.execute("SELECT * FROM rooms")
+        assert len(rows) == 3
+
+    def test_projection(self, engine):
+        rows = engine.execute("SELECT city FROM rooms WHERE id = 'r1'")
+        assert rows == [{"city": "athens"}]
+
+    def test_where_equality_and_comparison(self, engine):
+        rows = engine.execute(
+            "SELECT id FROM rooms WHERE city = 'athens' AND rate < 100")
+        assert [row["id"] for row in rows] == ["r3"]
+
+    def test_order_by_desc_limit(self, engine):
+        rows = engine.execute("SELECT id FROM rooms ORDER BY rate DESC LIMIT 2")
+        assert [row["id"] for row in rows] == ["r2", "r1"]
+
+    def test_order_by_asc_default(self, engine):
+        rows = engine.execute("SELECT id FROM rooms ORDER BY rate")
+        assert [row["id"] for row in rows] == ["r3", "r1", "r2"]
+
+    def test_not_equal(self, engine):
+        rows = engine.execute("SELECT id FROM rooms WHERE city <> 'athens'")
+        assert [row["id"] for row in rows] == ["r2"]
+
+    def test_empty_result(self, engine):
+        assert engine.execute("SELECT * FROM rooms WHERE rate > 9999") == []
+
+
+class TestMutations:
+    def test_insert_visible(self, engine):
+        engine.execute("INSERT INTO rooms (id, city, rate) VALUES ('r4', 'paris', 200)")
+        rows = engine.execute("SELECT * FROM rooms WHERE id = 'r4'")
+        assert rows[0]["city"] == "paris"
+
+    def test_delete_with_predicate(self, engine):
+        engine.execute("DELETE FROM rooms WHERE city = 'athens'")
+        assert len(engine.execute("SELECT * FROM rooms")) == 1
+
+    def test_delete_all(self, engine):
+        engine.execute("DELETE FROM rooms")
+        assert engine.execute("SELECT * FROM rooms") == []
+
+    def test_create_adds_implicit_id(self):
+        sql = SqlEngine()
+        sql.execute("CREATE TABLE notes (body)")
+        sql.execute("INSERT INTO notes (id, body) VALUES ('n1', 'hello')")
+        assert sql.execute("SELECT body FROM notes") == [{"body": "hello"}]
+
+    def test_escaped_quote_in_string(self, engine):
+        engine.execute(
+            "INSERT INTO rooms (id, city, rate) VALUES ('r9', 'l\\'aquila', 80)")
+        rows = engine.execute("SELECT city FROM rooms WHERE id = 'r9'")
+        assert rows == [{"city": "l'aquila"}]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("statement", [
+        "UPDATE rooms SET rate = 1",            # unsupported verb
+        "SELECT FROM rooms",                    # missing column list
+        "SELECT * FROM rooms WHERE rate ~ 1",   # bad operator
+        "INSERT INTO rooms (id) VALUES ('a', 'b')",  # arity mismatch
+        "SELECT * FROM rooms LIMIT -1",
+        "SELECT * FROM rooms extra",
+        "",
+    ])
+    def test_rejected(self, engine, statement):
+        with pytest.raises(SqlError):
+            engine.execute(statement)
+
+
+class TestMetering:
+    def test_parse_cost_charged(self, engine):
+        engine.store.take_receipt()
+        engine.execute("SELECT * FROM rooms")
+        receipt = engine.store.take_receipt()
+        assert receipt.cpu_work > 0
+        assert receipt.rows_scanned == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rates=st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                   max_size=25, unique=True),
+    threshold=st.integers(min_value=0, max_value=1000),
+)
+def test_property_where_matches_python_filter(rates, threshold):
+    sql = SqlEngine()
+    sql.execute("CREATE TABLE t (id, rate)")
+    for index, rate in enumerate(rates):
+        sql.execute("INSERT INTO t (id, rate) VALUES ('k%d', %d)" % (index, rate))
+    rows = sql.execute("SELECT rate FROM t WHERE rate >= %d" % threshold)
+    assert sorted(row["rate"] for row in rows) == \
+        sorted(rate for rate in rates if rate >= threshold)

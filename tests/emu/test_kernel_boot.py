@@ -1,0 +1,208 @@
+"""Kernel config, boot chain, disk image, and QEMU VM tests."""
+
+import pytest
+
+from repro.emu.bootchain import OPENSBI, BootChain, Bootloader
+from repro.emu.disk import DiskImage, GB, MB
+from repro.emu.kernel import (
+    BootFailure,
+    KernelBuild,
+    KernelConfig,
+    KernelImage,
+    NODEJS_SUPPORT_FLAG,
+    X86_IDE_DRIVER,
+    build_gem5_kernel,
+)
+from repro.emu.qemu import QemuVM, make_dev_vm
+from repro.serverless.container import base_image
+from repro.serverless.engine import REQUIRED_KERNEL_FEATURES
+
+
+class TestKernelConfig:
+    def test_defconfig_not_container_capable(self):
+        # The thesis's emergency-mode boots: plain defconfig kernels
+        # cannot run Docker.
+        image = KernelBuild().build(KernelConfig.defconfig("riscv"))
+        assert not image.supports_containers(dynamic_loading=False)
+        assert image.missing_for_containers(dynamic_loading=False)
+
+    def test_docker_flags_as_modules_need_dynamic_loading(self):
+        config = KernelConfig.defconfig("riscv")
+        config.apply_docker_flags()
+        image = KernelBuild().build(config)
+        # QEMU (dynamic loading) is fine; gem5 (no module loading) is not.
+        assert image.supports_containers(dynamic_loading=True)
+        assert not image.supports_containers(dynamic_loading=False)
+
+    def test_mod2yes_fixes_gem5(self):
+        config = KernelConfig.defconfig("riscv")
+        config.apply_docker_flags()
+        config.mod2yes()
+        image = KernelBuild().build(config)
+        assert image.supports_containers(dynamic_loading=False)
+
+    def test_mod2yes_blows_up_image_size(self):
+        lean = KernelBuild().build(KernelConfig.defconfig("riscv"))
+        config = KernelConfig.defconfig("riscv")
+        config.apply_docker_flags()
+        config.mod2yes()
+        fat = KernelBuild().build(config)
+        assert fat.size_bytes > lean.size_bytes
+
+    def test_unknown_arch_and_version_rejected(self):
+        with pytest.raises(ValueError):
+            KernelConfig("arm")
+        with pytest.raises(ValueError):
+            KernelConfig("riscv", version="4.19")
+
+    def test_gem5_recipe_riscv(self):
+        image = build_gem5_kernel("riscv")
+        assert image.supports_containers(dynamic_loading=False)
+
+    def test_gem5_recipe_x86_has_ide_but_not_nodejs(self):
+        # §3.5.2: the IDE driver was the defconfig blocker; NodeJS support
+        # never made it into a working x86 gem5 kernel.
+        image = build_gem5_kernel("x86")
+        assert X86_IDE_DRIVER in image.builtin
+        assert NODEJS_SUPPORT_FLAG not in image.builtin
+        assert NODEJS_SUPPORT_FLAG in image.loadable_modules
+
+    def test_x86_defconfig_missing_ide(self):
+        config = KernelConfig.defconfig("x86")
+        assert X86_IDE_DRIVER not in config.options
+
+
+class TestBootChain:
+    def test_riscv_requires_opensbi(self):
+        kernel = build_gem5_kernel("riscv")
+        with pytest.raises(BootFailure):
+            BootChain(kernel).validate()
+        BootChain(kernel, OPENSBI).validate()  # fine
+
+    def test_x86_boots_without_bootloader(self):
+        BootChain(build_gem5_kernel("x86")).validate()
+
+    def test_arch_mismatch_rejected(self):
+        kernel = build_gem5_kernel("riscv")
+        with pytest.raises(BootFailure):
+            BootChain(kernel, Bootloader("grub", "x86", 1 << 20)).validate()
+
+    def test_stage_names(self):
+        chain = BootChain(build_gem5_kernel("riscv"), OPENSBI)
+        assert chain.stages[0] == "opensbi-fw_jump"
+        assert chain.stages[1].startswith("linux-")
+
+
+class TestDiskImage:
+    def test_resize_grow_only(self):
+        disk = DiskImage("d", "riscv")
+        disk.resize(8 * GB)
+        assert disk.size_bytes == 8 * GB
+        with pytest.raises(ValueError):
+            disk.resize(2 * GB)
+
+    def test_space_accounting(self):
+        disk = DiskImage("d", "riscv", size_bytes=2 * GB)
+        free_before = disk.free_bytes
+        disk.install_package("docker", size_bytes=300 * MB)
+        assert disk.free_bytes == free_before - 300 * MB
+
+    def test_enospc(self):
+        disk = DiskImage("d", "riscv", size_bytes=int(1.4 * GB))
+        with pytest.raises(IOError):
+            disk.install_package("docker", size_bytes=200 * MB)
+
+    def test_container_arch_enforced(self):
+        disk = DiskImage("d", "riscv")
+        disk.store_container_image(base_image("go", "riscv"))
+        with pytest.raises(ValueError):
+            disk.store_container_image(base_image("go", "x86"))
+
+    def test_disable_services(self):
+        disk = DiskImage("d", "x86")
+        assert "snapd" in disk.enabled_services()
+        disk.disable_service("snapd")
+        assert "snapd" not in disk.enabled_services()
+
+    def test_convert_is_deep_copy(self):
+        disk = DiskImage("d", "x86")
+        clone = disk.convert("d2")
+        clone.install_package("docker")
+        assert "docker" not in disk.packages
+
+
+class TestQemuVM:
+    def test_dev_vm_boots(self):
+        vm = make_dev_vm("riscv")
+        seconds = vm.boot()
+        assert seconds > 0
+        assert vm.booted
+
+    def test_cross_arch_tcg_much_slower(self):
+        riscv_vm = make_dev_vm("riscv")   # riscv guest on x86 host: TCG
+        x86_vm = make_dev_vm("x86")       # same arch: KVM
+        assert x86_vm.accel == "kvm"
+        assert riscv_vm.accel == "tcg"
+        assert x86_vm.mips > 5 * riscv_vm.mips
+
+    def test_kvm_requires_same_arch(self):
+        from repro.emu.kernel import build_gem5_kernel
+
+        kernel = build_gem5_kernel("riscv")
+        disk = DiskImage("d", "riscv")
+        with pytest.raises(BootFailure):
+            QemuVM("riscv", kernel, disk, accel="kvm", host_arch="x86")
+
+    def test_kernel_disk_arch_must_match_guest(self):
+        kernel = build_gem5_kernel("x86")
+        disk = DiskImage("d", "riscv")
+        with pytest.raises(BootFailure):
+            QemuVM("riscv", kernel, disk)
+
+    def test_feature_poor_kernel_boots_to_emergency_mode(self):
+        config = KernelConfig.defconfig("x86")
+        config.enable(X86_IDE_DRIVER)
+        kernel = KernelBuild().build(config)
+        vm = QemuVM("x86", kernel, DiskImage("d", "x86"))
+        with pytest.raises(BootFailure, match="emergency mode"):
+            vm.boot()
+
+    def test_operations_require_boot(self):
+        vm = make_dev_vm("x86")
+        from repro.db import MongoStore
+
+        with pytest.raises(BootFailure):
+            vm.boot_database_container(MongoStore())
+
+    def test_cassandra_boot_story(self):
+        """~17 min on emulated RISC-V, ~40 s native, ~5x MongoDB (§3.3.3.2)."""
+        from repro.db import CassandraStore, MongoStore
+
+        riscv_vm = make_dev_vm("riscv")
+        riscv_vm.boot()
+        cassandra_riscv = riscv_vm.boot_database_container(CassandraStore())
+        assert 8 * 60 < cassandra_riscv < 25 * 60
+
+        x86_vm = make_dev_vm("x86")
+        x86_vm.boot()
+        cassandra_x86 = x86_vm.boot_database_container(CassandraStore())
+        mongo_x86 = x86_vm.boot_database_container(MongoStore())
+        assert 20 < cassandra_x86 < 60
+        assert 3.5 < cassandra_x86 / mongo_x86 < 9
+
+    def test_wall_clock_accumulates(self):
+        vm = make_dev_vm("x86")
+        vm.boot()
+        before = vm.wall_seconds
+        vm.charge_instructions(10**9)
+        assert vm.wall_seconds > before
+
+    def test_time_request_returns_ns_and_runs_handler(self):
+        from repro.workloads.catalog import get_function
+
+        vm = make_dev_vm("x86")
+        vm.boot()
+        function = get_function("fibonacci-go")
+        cold = vm.time_request(function, cold=True)
+        warm = vm.time_request(function, sequence=2)
+        assert cold > warm > 0

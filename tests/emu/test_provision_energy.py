@@ -1,0 +1,146 @@
+"""Provisioning workflow and energy model tests."""
+
+import pytest
+
+from repro.core.harness import ExperimentHarness, clear_boot_checkpoint_cache
+from repro.core.scale import SimScale
+from repro.emu import make_dev_vm
+from repro.emu.provision import (
+    ProvisionError,
+    Provisioner,
+    port_python_function,
+)
+from repro.sim.energy import DEFAULT_COEFFICIENTS, EnergyModel
+from repro.workloads.catalog import get_function
+
+
+@pytest.fixture(autouse=True)
+def _fresh_checkpoints():
+    clear_boot_checkpoint_cache()
+    yield
+    clear_boot_checkpoint_cache()
+
+
+def booted_vm(arch):
+    vm = make_dev_vm(arch)
+    vm.boot()
+    return vm
+
+
+class TestAptAndSourceBuilds:
+    def test_docker_missing_on_riscv_apt(self):
+        provisioner = Provisioner(booted_vm("riscv"))
+        with pytest.raises(ProvisionError, match="Unable to locate"):
+            provisioner.apt_install("docker")
+
+    def test_docker_apt_works_on_x86(self):
+        provisioner = Provisioner(booted_vm("x86"))
+        provisioner.apt_install("docker")
+        assert "docker" in provisioner.installed
+
+    def test_install_docker_falls_back_to_source_on_riscv(self):
+        provisioner = Provisioner(booted_vm("riscv"))
+        provisioner.install_docker()
+        assert {"docker", "containerd", "rootlesskit"} <= provisioner.installed
+        # "took almost 3 hours in our setup" (§3.2.2) — per component here;
+        # the total build time is hours, not minutes.
+        assert provisioner.log.total_seconds() > 3600
+
+    def test_mongodb_unportable(self):
+        provisioner = Provisioner(booted_vm("riscv"))
+        with pytest.raises(ProvisionError, match="no RISC-V port"):
+            provisioner.build_from_source("mongodb")
+
+    def test_mongodb_builds_on_x86(self):
+        provisioner = Provisioner(booted_vm("x86"))
+        provisioner.build_from_source("mongodb")
+        assert "mongodb" in provisioner.installed
+
+
+class TestGrpcLibatomicStory:
+    def test_import_fails_without_preload_on_riscv(self):
+        provisioner = Provisioner(booted_vm("riscv"))
+        provisioner.pip_install("grpcio")
+        with pytest.raises(ProvisionError, match="atomic-compare-exchange-1"):
+            provisioner.import_module("grpcio")
+
+    def test_preload_workaround(self):
+        provisioner = Provisioner(booted_vm("riscv"))
+        provisioner.pip_install("grpcio")
+        provisioner.preload_libatomic()
+        provisioner.import_module("grpcio")  # no raise
+
+    def test_x86_needs_no_preload(self):
+        provisioner = Provisioner(booted_vm("x86"))
+        provisioner.pip_install("grpcio")
+        provisioner.import_module("grpcio")
+
+    def test_import_before_install(self):
+        provisioner = Provisioner(booted_vm("riscv"))
+        with pytest.raises(ProvisionError, match="ModuleNotFoundError"):
+            provisioner.import_module("grpcio")
+
+    def test_grpcio_pip_takes_hours_under_tcg(self):
+        provisioner = Provisioner(booted_vm("riscv"))
+        provisioner.pip_install("grpcio")
+        # "lasted around 4 hours when done inside the RISC-V VM" (§3.3.1.2).
+        assert 2 * 3600 < provisioner.log.total_seconds() < 8 * 3600
+
+    def test_full_porting_journey(self):
+        log = port_python_function(booted_vm("riscv"))
+        outcomes = [step["outcome"] for step in log.steps]
+        assert "undefined symbol" in outcomes  # hit the bug...
+        assert outcomes[-1] == "ok"            # ...and worked around it
+        assert "h total" in log.render()
+
+    def test_x86_journey_is_painless(self):
+        log = port_python_function(booted_vm("x86"))
+        assert all(step["outcome"] == "ok" for step in log.steps)
+        # KVM-speed installs: minutes, not hours.
+        assert log.total_seconds() < 3600
+
+
+class TestEnergyModel:
+    def measure(self, isa):
+        harness = ExperimentHarness(isa=isa, scale=SimScale(time=1024, space=16))
+        return harness.measure_function(get_function("fibonacci-go"))
+
+    def test_estimate_components(self):
+        estimate = EnergyModel().estimate(self.measure("riscv").cold)
+        assert estimate.total_nj > 0
+        assert set(estimate.dynamic_nj) == {"pipeline", "l1", "l2", "dram",
+                                            "bpred"}
+        assert estimate.static_nj > 0
+        assert "nJ total" in estimate.render()
+
+    def test_cold_costs_more_energy_than_warm(self):
+        measurement = self.measure("riscv")
+        model = EnergyModel()
+        assert model.estimate(measurement.cold).total_nj > \
+            model.estimate(measurement.warm).total_nj
+
+    def test_riscv_more_energy_efficient_here(self):
+        # Fewer instructions + fewer misses -> less energy: the ISA-wars
+        # axis the thesis motivates.
+        model = EnergyModel()
+        riscv = model.estimate(self.measure("riscv").cold)
+        clear_boot_checkpoint_cache()
+        x86 = model.estimate(self.measure("x86").cold)
+        assert riscv.total_nj < x86.total_nj
+        assert riscv.edp < x86.edp
+
+    def test_coefficient_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(coefficients={"instruction": 1.0})
+        with pytest.raises(ValueError):
+            EnergyModel(static_watts=-1)
+
+    def test_compare_batch(self):
+        measurement = self.measure("riscv")
+        estimates = EnergyModel().compare({"fibonacci-go": measurement})
+        assert estimates["fibonacci-go"].total_nj > 0
+
+    def test_dram_dominates_when_misses_do(self):
+        # Per-event DRAM energy is ~2 orders above L1's.
+        assert DEFAULT_COEFFICIENTS["dram_access"] > \
+            50 * DEFAULT_COEFFICIENTS["l1_access"]

@@ -1,0 +1,158 @@
+"""Container image / registry / engine tests."""
+
+import pytest
+
+from repro.serverless.container import (
+    BASE_IMAGE_CATALOG,
+    ContainerImage,
+    ImageLayer,
+    ImageRegistry,
+    MB,
+    base_image,
+)
+from repro.serverless.engine import (
+    REQUIRED_KERNEL_FEATURES,
+    ContainerEngine,
+    EngineError,
+    install_docker,
+)
+
+
+class TestImages:
+    def test_compressed_size_sums_layers(self):
+        image = ContainerImage("app", "x86", [ImageLayer("a", MB), ImageLayer("b", 2 * MB)])
+        assert image.compressed_size_mb == pytest.approx(3.0)
+
+    def test_with_layer_is_immutable_build_step(self):
+        image = ContainerImage("app", "x86", [ImageLayer("base", MB)])
+        bigger = image.with_layer(ImageLayer("app", MB))
+        assert len(image.layers) == 1
+        assert len(bigger.layers) == 2
+
+    def test_bad_arch_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerImage("app", "sparc", [])
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(ValueError):
+            ImageLayer("bad", -1)
+
+
+class TestBaseImageCatalog:
+    def test_go_images_exist_for_both_arches(self):
+        assert base_image("go", "x86").compressed_size_mb > 0
+        assert base_image("go", "riscv").compressed_size_mb > 0
+
+    def test_no_alpine_for_riscv(self):
+        # The porting pain point of §3.5.1.
+        with pytest.raises(LookupError):
+            base_image("python", "riscv", variant="alpine")
+        assert base_image("python", "x86", variant="alpine") is not None
+
+    def test_riscv_python_base_bigger_than_x86(self):
+        riscv = base_image("python", "riscv").compressed_size_mb
+        x86 = base_image("python", "x86").compressed_size_mb
+        assert riscv > x86
+
+    def test_riscv_nodejs_base_smaller_than_x86(self):
+        riscv = base_image("nodejs", "riscv").compressed_size_mb
+        x86 = base_image("nodejs", "x86").compressed_size_mb
+        assert riscv < x86
+
+    def test_unknown_combo_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            base_image("rust", "x86")
+
+    def test_catalog_covers_all_runtimes(self):
+        runtimes = {runtime for runtime, _arch, _variant in BASE_IMAGE_CATALOG}
+        assert runtimes == {"go", "python", "nodejs"}
+
+
+class TestRegistry:
+    def test_push_pull_roundtrip(self):
+        registry = ImageRegistry()
+        image = base_image("go", "riscv")
+        registry.push(image)
+        assert registry.pull("go-default", "riscv") is image
+
+    def test_pull_wrong_arch_fails(self):
+        registry = ImageRegistry()
+        registry.push(base_image("go", "x86"))
+        with pytest.raises(LookupError):
+            registry.pull("go-default", "riscv")
+
+    def test_search_with_arch_filter(self):
+        registry = ImageRegistry()
+        registry.push(base_image("go", "x86"))
+        registry.push(base_image("go", "riscv"))
+        registry.push(base_image("python", "riscv"))
+        hits = registry.search("go", arch="riscv")
+        assert len(hits) == 1
+        assert hits[0].arch == "riscv"
+
+
+class TestEngine:
+    def make_engine(self, arch="riscv"):
+        engine = install_docker(arch)
+        engine.registry.push(base_image("go", arch))
+        return engine
+
+    def test_riscv_docker_built_from_source(self):
+        assert install_docker("riscv").installed_from_source
+        assert not install_docker("x86").installed_from_source
+
+    def test_pull_create_start_stop(self):
+        engine = self.make_engine()
+        engine.pull("go-default")
+        container = engine.create("go-default", name="fib")
+        assert not container.running
+        engine.start("fib")
+        assert engine.ps() == [container]
+        engine.stop("fib")
+        assert engine.ps() == []
+        engine.remove("fib")
+        assert engine.ps(all_states=True) == []
+
+    def test_create_without_pull_fails(self):
+        engine = self.make_engine()
+        with pytest.raises(EngineError):
+            engine.create("go-default")
+
+    def test_kernel_feature_gate(self):
+        engine = ContainerEngine("riscv", kernel_features=["CONFIG_NAMESPACES"])
+        missing = engine.check_kernel()
+        assert "CONFIG_OVERLAY_FS" in missing
+        with pytest.raises(EngineError):
+            engine.ensure_operational()
+
+    def test_full_feature_kernel_passes(self):
+        engine = ContainerEngine("x86", kernel_features=list(REQUIRED_KERNEL_FEATURES))
+        assert engine.check_kernel() == []
+        engine.ensure_operational()
+
+    def test_wrong_arch_image_load_rejected(self):
+        engine = self.make_engine("x86")
+        with pytest.raises(EngineError):
+            engine.load_image(base_image("go", "riscv"))
+
+    def test_double_start_rejected(self):
+        engine = self.make_engine()
+        engine.pull("go-default")
+        engine.create("go-default", name="c")
+        engine.start("c")
+        with pytest.raises(EngineError):
+            engine.start("c")
+
+    def test_remove_running_rejected(self):
+        engine = self.make_engine()
+        engine.pull("go-default")
+        engine.create("go-default", name="c")
+        engine.start("c")
+        with pytest.raises(EngineError):
+            engine.remove("c")
+
+    def test_cpu_pinning_recorded(self):
+        engine = self.make_engine()
+        engine.pull("go-default")
+        container = engine.create("go-default", cpu_pin=1)
+        assert container.cpu_pin == 1

@@ -1,0 +1,220 @@
+"""FaaS lifecycle, RPC, and load generator tests."""
+
+import pytest
+
+from repro.db.memcached import MemcachedCache
+from repro.serverless.container import base_image
+from repro.serverless.engine import install_docker
+from repro.serverless.faas import FaasPlatform, FunctionState, KeepAlivePolicy
+from repro.serverless.loadgen import LoadGenerator
+from repro.serverless.rpc import RpcChannel, RpcError
+
+
+def make_platform(arch="riscv", policy=None):
+    engine = install_docker(arch)
+    engine.registry.push(base_image("go", arch))
+    return FaasPlatform(engine, policy=policy)
+
+
+def echo_handler(payload, ctx):
+    ctx.meter("echoes")
+    return {"echo": payload}
+
+
+class TestLifecycle:
+    def test_first_invocation_is_cold(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        assert platform.state_of("fib") == FunctionState.DEAD
+        record = platform.invoke("fib", {"n": 10})
+        assert record.cold
+        assert platform.state_of("fib") == FunctionState.WAITING
+
+    def test_subsequent_invocations_warm(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        platform.invoke("fib")
+        for _ in range(5):
+            assert not platform.invoke("fib").cold
+
+    def test_kill_forces_next_cold(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        platform.invoke("fib")
+        platform.kill("fib")
+        assert platform.state_of("fib") == FunctionState.DEAD
+        assert platform.invoke("fib").cold
+
+    def test_idle_timeout_reaps_instance(self):
+        platform = make_platform(policy=KeepAlivePolicy(idle_timeout=3.0))
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        platform.deploy("aes", "go-default", "go", echo_handler)
+        platform.invoke("fib")
+        for _ in range(4):  # each invocation advances the clock by 1
+            platform.invoke("aes")
+        assert platform.state_of("fib") == FunctionState.DEAD
+        assert platform.state_of("aes") == FunctionState.WAITING
+
+    def test_warm_pool_cap_evicts_lru(self):
+        platform = make_platform(policy=KeepAlivePolicy(idle_timeout=1000, max_warm=2))
+        for name in ("f1", "f2", "f3"):
+            platform.deploy(name, "go-default", "go", echo_handler)
+        platform.invoke("f1")
+        platform.invoke("f2")
+        platform.invoke("f3")
+        states = {name: platform.state_of(name) for name in ("f1", "f2", "f3")}
+        assert states["f1"] == FunctionState.DEAD  # least recently used
+        assert states["f2"] == FunctionState.WAITING
+        assert states["f3"] == FunctionState.WAITING
+
+    def test_duplicate_deploy_rejected(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        with pytest.raises(ValueError):
+            platform.deploy("fib", "go-default", "go", echo_handler)
+
+    def test_cold_start_counts(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        platform.invoke("fib")
+        platform.kill("fib")
+        platform.invoke("fib")
+        assert platform.function("fib").cold_starts == 2
+
+    def test_container_created_and_pinned_on_cold_start(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        platform.invoke("fib")
+        containers = platform.engine.ps()
+        assert len(containers) == 1
+        assert containers[0].cpu_pin == platform.server_core
+
+
+class TestInvocationRecords:
+    def test_payload_sizes_recorded(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        record = platform.invoke("fib", {"blob": "x" * 500})
+        assert record.request_bytes > 500
+        assert record.response_bytes > 500
+        assert record.result == {"echo": {"blob": "x" * 500}}
+
+    def test_service_receipts_attached(self):
+        platform = make_platform()
+        cache = MemcachedCache()
+
+        def handler(payload, ctx):
+            ctx.service("memcached").set("k", "v" * 100)
+            ctx.service("memcached").get("k")
+            return {}
+
+        platform.deploy("cached", "go-default", "go", handler,
+                        services={"memcached": cache})
+        record = platform.invoke("cached")
+        assert record.receipts["memcached"].bytes_written > 100
+        assert record.receipts["memcached"].bytes_read > 100
+
+    def test_receipts_isolated_per_request(self):
+        platform = make_platform()
+        cache = MemcachedCache()
+
+        def handler(payload, ctx):
+            ctx.service("memcached").get("probe")
+            return {}
+
+        platform.deploy("f", "go-default", "go", handler,
+                        services={"memcached": cache})
+        first = platform.invoke("f")
+        second = platform.invoke("f")
+        assert first.receipts["memcached"].structure_misses == 1
+        assert second.receipts["memcached"].structure_misses == 1
+
+    def test_metrics_via_context(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        record = platform.invoke("fib")
+        assert record.metrics["echoes"] == 1
+
+    def test_unknown_service_error_is_descriptive(self):
+        platform = make_platform()
+
+        def handler(payload, ctx):
+            return ctx.service("database")
+
+        platform.deploy("f", "go-default", "go", handler)
+        with pytest.raises(KeyError, match="database"):
+            platform.invoke("f")
+
+
+class TestRpc:
+    def test_call_roundtrip(self):
+        channel = RpcChannel("test")
+        channel.register("GetFib", lambda payload: {"value": payload["n"] * 2})
+        response = channel.call("GetFib", {"n": 21})
+        assert response.ok
+        assert response.payload == {"value": 42}
+
+    def test_unknown_method(self):
+        channel = RpcChannel()
+        with pytest.raises(RpcError):
+            channel.call("Nope")
+
+    def test_handler_exception_becomes_status(self):
+        channel = RpcChannel()
+
+        def bad(payload):
+            raise ValueError("boom")
+
+        channel.register("Bad", bad)
+        response = channel.call("Bad")
+        assert not response.ok
+        assert response.status == "INTERNAL"
+
+    def test_wire_bytes_metered(self):
+        channel = RpcChannel()
+        channel.register("Echo", lambda payload: payload)
+        channel.call("Echo", {"data": "x" * 100})
+        assert channel.bytes_in > 100
+        assert channel.bytes_out > 100
+
+    def test_duplicate_registration_rejected(self):
+        channel = RpcChannel()
+        channel.register("M", lambda payload: None)
+        with pytest.raises(ValueError):
+            channel.register("M", lambda payload: None)
+
+
+class TestLoadGenerator:
+    def test_ten_request_protocol(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        log = LoadGenerator(platform).run_session("fib", requests=10)
+        assert len(log) == 10
+        assert log.cold.sequence == 1
+        assert log.warm.sequence == 10
+        assert sum(1 for record in log if record.cold) == 1
+
+    def test_payload_factory(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        log = LoadGenerator(platform).run_session(
+            "fib", requests=3, payload_factory=lambda i: {"n": i}
+        )
+        assert [record.result["echo"]["n"] for record in log] == [0, 1, 2]
+
+    def test_payload_and_factory_mutually_exclusive(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        with pytest.raises(ValueError):
+            LoadGenerator(platform).run_session(
+                "fib", payload={}, payload_factory=lambda i: {}
+            )
+
+    def test_interleaved_sessions_round_robin(self):
+        platform = make_platform()
+        for name in ("f1", "f2"):
+            platform.deploy(name, "go-default", "go", echo_handler)
+        logs = LoadGenerator(platform).interleaved_session(["f1", "f2"], rounds=3)
+        assert len(logs["f1"]) == 3
+        assert len(logs["f2"]) == 3
+        assert logs["f1"].cold.sequence == 1

@@ -1,0 +1,101 @@
+"""Checkpoint serialization, store, and restore-fidelity tests."""
+
+import pytest
+
+from repro.sim.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.sim.isa import ir
+from repro.sim.system import SimulatedSystem
+
+
+def make_system_with_state():
+    system = SimulatedSystem("s", "riscv")
+    program = ir.Program("warmup", seed=1)
+    buf = program.space.alloc("buf", 32 * 1024)
+    program.add_routine(
+        ir.Routine("main", ir.touch_block(buf, loads=512, stores=64)), entry=True
+    )
+    system.run(1, program, model="o3")
+    return system, program
+
+
+class TestTakeRestore:
+    def test_restore_reproduces_timing(self):
+        system, program = make_system_with_state()
+        checkpoint = take_checkpoint(system)
+        baseline = system.run(1, program, model="o3").cycles
+        system.flush_core(1)
+        restore_checkpoint(system, checkpoint)
+        restored = system.run(1, program, model="o3").cycles
+        assert restored == baseline
+
+    def test_checkpoint_immune_to_later_mutation(self):
+        system, program = make_system_with_state()
+        checkpoint = take_checkpoint(system)
+        resident_at_ckpt = system.cores[1].l1d.resident_lines()
+        system.flush_core(1)
+        restore_checkpoint(system, checkpoint)
+        assert system.cores[1].l1d.resident_lines() == resident_at_ckpt
+
+    def test_payload_roundtrip_is_a_copy(self):
+        system, _program = make_system_with_state()
+        payload = {"containers": ["fib-run1"]}
+        checkpoint = take_checkpoint(system, payload=payload)
+        payload["containers"].append("mutated")
+        restored = restore_checkpoint(system, checkpoint)
+        assert restored == {"containers": ["fib-run1"]}
+
+
+class TestDiskPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        system, program = make_system_with_state()
+        checkpoint = take_checkpoint(system, payload={"phase": "boot"})
+        path = checkpoint.save(tmp_path / "post-boot.ckpt")
+        loaded = Checkpoint.load(path)
+        assert loaded.payload == {"phase": "boot"}
+        system.flush_core(1)
+        restore_checkpoint(system, loaded)
+        baseline = system.run(1, program, model="o3").cycles
+        assert baseline > 0
+
+    def test_version_check(self, tmp_path):
+        system, _program = make_system_with_state()
+        checkpoint = take_checkpoint(system)
+        checkpoint.version = 99
+        path = checkpoint.save(tmp_path / "bad.ckpt")
+        with pytest.raises(ValueError):
+            Checkpoint.load(path)
+
+    def test_load_rejects_non_checkpoint(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.ckpt"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a checkpoint"}, handle)
+        with pytest.raises(TypeError):
+            Checkpoint.load(path)
+
+
+class TestCheckpointStore:
+    def test_memory_store(self):
+        system, _program = make_system_with_state()
+        store = CheckpointStore()
+        store.put("boot", take_checkpoint(system))
+        assert "boot" in store
+        assert "other" not in store
+        assert store.names() == ["boot"]
+
+    def test_disk_backed_store_survives_reload(self, tmp_path):
+        system, _program = make_system_with_state()
+        store = CheckpointStore(directory=tmp_path)
+        store.put("boot", take_checkpoint(system, payload={"n": 1}))
+        fresh = CheckpointStore(directory=tmp_path)
+        assert fresh.get("boot").payload == {"n": 1}
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            CheckpointStore().get("ghost")

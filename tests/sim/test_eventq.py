@@ -1,0 +1,136 @@
+"""Unit tests for the event queue kernel."""
+
+import pytest
+
+from repro.sim.eventq import CONTROL_PRIORITY, Event, EventQueue, SimulationExit
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(30, lambda: order.append("c"))
+        queue.schedule(10, lambda: order.append("a"))
+        queue.schedule(20, lambda: order.append("b"))
+        queue.simulate()
+        assert order == ["a", "b", "c"]
+
+    def test_same_tick_priority_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(10, lambda: order.append("normal"))
+        queue.schedule(10, lambda: order.append("control"), priority=CONTROL_PRIORITY)
+        queue.simulate()
+        assert order == ["control", "normal"]
+
+    def test_same_tick_same_priority_fifo(self):
+        queue = EventQueue()
+        order = []
+        for index in range(5):
+            queue.schedule(7, lambda i=index: order.append(i))
+        queue.simulate()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        ticks = []
+        queue.schedule_at(42, lambda: ticks.append(queue.now))
+        queue.simulate()
+        assert ticks == [42]
+
+    def test_schedule_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5, lambda: None)
+        queue.simulate()
+        assert queue.now == 5
+        with pytest.raises(ValueError):
+            queue.schedule_at(3, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        queue = EventQueue()
+        seen = []
+
+        def first():
+            seen.append(("first", queue.now))
+            queue.schedule(5, lambda: seen.append(("second", queue.now)))
+
+        queue.schedule(10, first)
+        queue.simulate()
+        assert seen == [("first", 10), ("second", 15)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        queue.simulate()
+        assert fired == []
+        assert event.cancelled
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        keep = queue.schedule(1, lambda: None)
+        drop = queue.schedule(2, lambda: None)
+        drop.cancel()
+        assert len(queue) == 1
+        assert keep.when == 1
+
+
+class TestSimulateControl:
+    def test_horizon_stops_before_future_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: fired.append("early"))
+        queue.schedule(100, lambda: fired.append("late"))
+        cause = queue.simulate(until=50)
+        assert fired == ["early"]
+        assert cause == "simulation horizon reached"
+        assert queue.now == 50
+
+    def test_simulation_exit_propagates_cause(self):
+        queue = EventQueue()
+
+        def bail():
+            raise SimulationExit("m5 exit")
+
+        queue.schedule(10, bail)
+        queue.schedule(20, lambda: pytest.fail("should not run"))
+        cause = queue.simulate()
+        assert cause == "m5 exit"
+        assert queue.now == 10
+
+    def test_drained_queue_cause(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        assert queue.simulate() == "event queue drained"
+
+    def test_max_events_budget(self):
+        queue = EventQueue()
+        for index in range(10):
+            queue.schedule(index + 1, lambda: None)
+        cause = queue.simulate(max_events=3)
+        assert cause == "event budget exhausted"
+        assert queue.events_run == 3
+
+    def test_peek_next_tick(self):
+        queue = EventQueue()
+        assert queue.peek_next_tick() is None
+        event = queue.schedule(9, lambda: None)
+        assert queue.peek_next_tick() == 9
+        event.cancel()
+        assert queue.peek_next_tick() is None
+
+
+class TestEventRepr:
+    def test_event_repr_mentions_state(self):
+        event = Event(5, lambda: None, name="boot")
+        assert "boot" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)

@@ -1,0 +1,79 @@
+"""Property tests for the event-queue kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.eventq import EventQueue
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**6),
+                       min_size=1, max_size=80))
+def test_property_events_fire_in_time_order(delays):
+    queue = EventQueue()
+    fired = []
+    for delay in delays:
+        queue.schedule(delay, lambda d=delay: fired.append((queue.now, d)))
+    queue.simulate()
+    times = [when for when, _delay in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    # Each callback ran exactly at its scheduled tick.
+    assert all(when == delay for when, delay in fired)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=40),
+    horizon=st.integers(min_value=0, max_value=1000),
+)
+def test_property_horizon_partitions_events(delays, horizon):
+    queue = EventQueue()
+    fired = []
+    for delay in delays:
+        queue.schedule(delay, lambda d=delay: fired.append(d))
+    queue.simulate(until=horizon)
+    assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+    queue.simulate()  # drain the rest
+    assert sorted(fired) == sorted(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=2, max_size=40),
+    cancel_indices=st.sets(st.integers(min_value=0, max_value=39)),
+)
+def test_property_cancelled_events_never_fire(delays, cancel_indices):
+    queue = EventQueue()
+    fired = []
+    events = [
+        queue.schedule(delay, lambda i=index: fired.append(i))
+        for index, delay in enumerate(delays)
+    ]
+    for index in cancel_indices:
+        if index < len(events):
+            events[index].cancel()
+    queue.simulate()
+    surviving = {index for index in range(len(delays))
+                 if index not in cancel_indices}
+    assert set(fired) == surviving
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_length=st.integers(min_value=1, max_value=50),
+       step=st.integers(min_value=1, max_value=100))
+def test_property_self_rescheduling_chain(chain_length, step):
+    """An event that reschedules itself walks exact multiples of step."""
+    queue = EventQueue()
+    ticks = []
+
+    def hop():
+        ticks.append(queue.now)
+        if len(ticks) < chain_length:
+            queue.schedule(step, hop)
+
+    queue.schedule(step, hop)
+    queue.simulate()
+    assert ticks == [step * (index + 1) for index in range(chain_length)]

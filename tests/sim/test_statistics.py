@@ -1,0 +1,151 @@
+"""Unit tests for the statistics framework (the m5 stat reset/dump analog)."""
+
+import pytest
+
+from repro.sim.statistics import Formula, Histogram, Scalar, StatGroup, Vector
+
+
+class TestScalar:
+    def test_inc_and_value(self):
+        stat = Scalar("count")
+        stat.inc()
+        stat.inc(4)
+        assert stat.value() == 5
+
+    def test_reset(self):
+        stat = Scalar("count")
+        stat.inc(9)
+        stat.reset()
+        assert stat.value() == 0
+
+    def test_set(self):
+        stat = Scalar("gauge")
+        stat.set(17)
+        assert stat.value() == 17
+
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            Scalar("bad.name")
+        with pytest.raises(ValueError):
+            Scalar("")
+
+
+class TestVector:
+    def test_keyed_increments(self):
+        vector = Vector("byClass", ["load", "store"])
+        vector.inc("load", 3)
+        vector.inc("store")
+        assert vector.get("load") == 3
+        assert vector.value() == 4
+
+    def test_unknown_key_raises(self):
+        vector = Vector("byClass", ["load"])
+        with pytest.raises(KeyError):
+            vector.inc("jump")
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            Vector("v", ["a", "a"])
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            Vector("v", [])
+
+    def test_reset_zeroes_all(self):
+        vector = Vector("v", ["x", "y"])
+        vector.inc("x", 5)
+        vector.reset()
+        assert vector.value() == 0
+
+
+class TestFormula:
+    def test_derived_value_follows_inputs(self):
+        cycles = Scalar("cycles")
+        insts = Scalar("insts")
+        cpi = Formula("cpi", lambda: cycles.value() / insts.value() if insts.value() else 0.0)
+        assert cpi.value() == 0.0
+        cycles.inc(10)
+        insts.inc(5)
+        assert cpi.value() == 2.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("lat", [10, 100])
+        hist.sample(5)
+        hist.sample(50)
+        hist.sample(5000)
+        assert hist.counts == [1, 1, 1]
+        assert hist.samples == 3
+
+    def test_mean(self):
+        hist = Histogram("lat", [10])
+        hist.sample(4)
+        hist.sample(6)
+        assert hist.mean == 5.0
+
+    def test_reset(self):
+        hist = Histogram("lat", [10])
+        hist.sample(1)
+        hist.reset()
+        assert hist.samples == 0
+        assert hist.mean == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", [100, 10])
+
+
+class TestStatGroup:
+    def make_tree(self):
+        root = StatGroup("system")
+        cpu = root.group("cpu0")
+        cpu.scalar("numCycles").inc(100)
+        cache = root.group("l2")
+        cache.scalar("misses").inc(7)
+        cache.vector("byType", ["read", "write"]).inc("read", 2)
+        return root
+
+    def test_dump_flattens_with_dots(self):
+        dump = self.make_tree().dump()
+        assert dump["system.cpu0.numCycles"] == 100
+        assert dump["system.l2.misses"] == 7
+
+    def test_dump_expands_vectors(self):
+        dump = self.make_tree().dump()
+        assert dump["system.l2.byType::read"] == 2
+        assert dump["system.l2.byType::total"] == 2
+
+    def test_reset_recurses(self):
+        root = self.make_tree()
+        root.reset()
+        assert all(value == 0 for value in root.dump().values())
+
+    def test_group_get_or_create_idempotent(self):
+        root = StatGroup("sys")
+        assert root.group("cpu") is root.group("cpu")
+
+    def test_duplicate_stat_rejected(self):
+        root = StatGroup("sys")
+        root.scalar("x")
+        with pytest.raises(ValueError):
+            root.scalar("x")
+
+    def test_find_by_dotted_path(self):
+        root = self.make_tree()
+        assert root.find("l2.misses").value() == 7
+
+    def test_stat_group_name_collision_with_stat(self):
+        root = StatGroup("sys")
+        root.scalar("thing")
+        with pytest.raises(ValueError):
+            root.group("thing")
+
+    def test_attach_existing_group(self):
+        root = StatGroup("sys")
+        child = StatGroup("dram")
+        child.scalar("reads").inc(3)
+        root.attach(child)
+        assert root.dump()["sys.dram.reads"] == 3
+        with pytest.raises(ValueError):
+            root.attach(StatGroup("dram"))

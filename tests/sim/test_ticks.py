@@ -1,0 +1,52 @@
+"""Unit tests for the tick/clock time base."""
+
+import pytest
+
+from repro.sim.ticks import ClockDomain, Frequency, TICKS_PER_SECOND
+
+
+class TestFrequency:
+    def test_one_ghz_period(self):
+        assert Frequency.from_ghz(1).period_ticks == 1000
+
+    def test_800_mhz_period(self):
+        assert Frequency.from_mhz(800).period_ticks == 1250
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Frequency(0)
+        with pytest.raises(ValueError):
+            Frequency(-5)
+
+    def test_rejects_nondividing(self):
+        with pytest.raises(ValueError):
+            Frequency(3)  # 10^12 / 3 is not an integer tick period
+
+    def test_equality_and_hash(self):
+        assert Frequency.from_ghz(1) == Frequency.from_mhz(1000)
+        assert hash(Frequency.from_ghz(2)) == hash(Frequency.from_ghz(2))
+
+    def test_repr_units(self):
+        assert "GHz" in repr(Frequency.from_ghz(1))
+        assert "MHz" in repr(Frequency.from_mhz(800))
+
+
+class TestClockDomain:
+    def test_cycles_to_ticks_roundtrip(self):
+        domain = ClockDomain(Frequency.from_ghz(1))
+        assert domain.cycles_to_ticks(5) == 5000
+        assert domain.ticks_to_cycles(5000) == 5
+
+    def test_ticks_to_cycles_rounds_down(self):
+        domain = ClockDomain(Frequency.from_ghz(1))
+        assert domain.ticks_to_cycles(1999) == 1
+
+    def test_next_cycle_edge(self):
+        domain = ClockDomain(Frequency.from_ghz(1))
+        assert domain.next_cycle_edge(0) == 0
+        assert domain.next_cycle_edge(1) == 1000
+        assert domain.next_cycle_edge(1000) == 1000
+        assert domain.next_cycle_edge(1001) == 2000
+
+    def test_ticks_per_second_constant(self):
+        assert TICKS_PER_SECOND == 10**12

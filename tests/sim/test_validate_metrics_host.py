@@ -1,0 +1,148 @@
+"""Validators, platform metrics, and the host timing backend."""
+
+import pytest
+
+from repro.emu.host import HostPlatform
+from repro.serverless.metrics import MetricsCollector, percentile
+from repro.sim.isa import get_isa, ir
+from repro.sim.isa.validate import assert_valid, validate_assembled
+from repro.workloads.catalog import STANDALONE_FUNCTIONS, get_function
+
+
+def good_program():
+    program = ir.Program("good", seed=1)
+    buf = program.space.alloc("buf", 8192)
+    body = ir.Seq([
+        ir.compute_block(ialu=50),
+        ir.Loop(ir.touch_block(buf, loads=4, stores=1), trips=5),
+    ])
+    program.add_routine(ir.Routine("main", body), entry=True)
+    return program
+
+
+class TestValidators:
+    def test_good_program_clean(self):
+        assembled = get_isa("riscv").assemble(good_program())
+        issues = validate_assembled(assembled)
+        assert [issue for issue in issues if issue.severity == "error"] == []
+        assert_valid(assembled)  # no raise
+
+    def test_every_workload_program_validates(self):
+        # The real guarantee: every generated invocation program is sane.
+        from repro.core.scale import SimScale
+        from repro.serverless.engine import install_docker
+        from repro.serverless.faas import FaasPlatform
+
+        scale = SimScale(time=4096, space=32)
+        for function in STANDALONE_FUNCTIONS[:3]:
+            engine = install_docker("riscv")
+            engine.registry.push(function.image("riscv"))
+            platform = FaasPlatform(engine)
+            platform.deploy(function.name, function.name,
+                            function.runtime_name, function.handler)
+            record = platform.invoke(function.name, function.default_payload())
+            for isa_name in ("riscv", "x86", "arm"):
+                program = function.invocation_program(record, {}, scale)
+                assembled = get_isa(isa_name).assemble(program)
+                assert_valid(assembled)
+
+    def test_unreachable_routine_warned(self):
+        program = good_program()
+        program.add_routine(ir.Routine("orphan", ir.compute_block(ialu=1)))
+        assembled = get_isa("riscv").assemble(program)
+        warnings = [issue for issue in validate_assembled(assembled)
+                    if issue.severity == "warning"]
+        assert any("orphan" in str(warning) for warning in warnings)
+        assert_valid(assembled)  # warnings do not raise
+
+    def test_corrupted_layout_detected(self):
+        assembled = get_isa("riscv").assemble(good_program())
+        # Sabotage: shrink the routine's claimed range below its contents.
+        assembled.routines["main"].code_size = 4
+        with pytest.raises(AssertionError):
+            assert_valid(assembled)
+
+
+class TestMetrics:
+    class FakeRecord:
+        def __init__(self, function, cold, ok=True):
+            self.function = function
+            self.cold = cold
+            self.ok = ok
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.5) == pytest.approx(51, abs=1)
+        assert percentile(values, 0.99) == pytest.approx(99, abs=1)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_collector_aggregates(self):
+        collector = MetricsCollector()
+        records = [self.FakeRecord("f", cold=index == 0) for index in range(10)]
+        collector.observe_all(records, latencies=[100.0 * (i + 1)
+                                                  for i in range(10)])
+        metrics = collector.function("f")
+        assert metrics.cold_rate == 0.1
+        assert metrics.latency_percentile(0.5) == pytest.approx(600, abs=100)
+        assert collector.total_invocations == 10
+
+    def test_error_rate(self):
+        collector = MetricsCollector()
+        collector.observe(self.FakeRecord("f", cold=True))
+        collector.observe(self.FakeRecord("f", cold=False, ok=False))
+        assert collector.function("f").error_rate == 0.5
+
+    def test_render(self):
+        collector = MetricsCollector()
+        collector.observe(self.FakeRecord("hotel-geo-go", cold=True), 123.0)
+        text = collector.render()
+        assert "hotel-geo-go" in text and "cold%" in text
+
+    def test_real_platform_integration(self):
+        from repro.serverless.engine import install_docker
+        from repro.serverless.faas import FaasPlatform
+        from repro.serverless.loadgen import LoadGenerator
+
+        function = get_function("aes-go")
+        engine = install_docker("riscv")
+        engine.registry.push(function.image("riscv"))
+        platform = FaasPlatform(engine)
+        platform.deploy(function.name, function.name, "go", function.handler)
+        log = LoadGenerator(platform).run_session(function.name, requests=5)
+        collector = MetricsCollector()
+        collector.observe_all(log.records)
+        assert collector.function(function.name).cold_rate == pytest.approx(0.2)
+
+    def test_misaligned_latencies_rejected(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.observe_all([self.FakeRecord("f", True)], latencies=[1, 2])
+
+
+class TestHostBackend:
+    def test_times_are_positive_wallclock(self):
+        sample = HostPlatform(repetitions=3).time_function(
+            get_function("fibonacci-go"), payload={"n": 2000})
+        assert sample.cold_ns > 0
+        assert len(sample.warm_ns) == 3
+        assert sample.warm_median_ns > 0
+
+    def test_bigger_inputs_take_longer(self):
+        host = HostPlatform(repetitions=3)
+        small = host.time_function(get_function("fibonacci-go"),
+                                   payload={"n": 100})
+        large = host.time_function(get_function("fibonacci-go"),
+                                   payload={"n": 50000})
+        assert large.warm_median_ns > small.warm_median_ns
+
+    def test_compare_batch(self):
+        samples = HostPlatform(repetitions=2).compare(
+            [get_function("aes-go"), get_function("auth-go")])
+        assert set(samples) == {"aes-go", "auth-go"}
+
+    def test_repetitions_validated(self):
+        with pytest.raises(ValueError):
+            HostPlatform(repetitions=0)

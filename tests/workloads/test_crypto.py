@@ -1,0 +1,79 @@
+"""Crypto substrate tests: our AES/SHA against the standard library."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import crypto
+
+
+class TestSha256:
+    @pytest.mark.parametrize("message", [
+        b"", b"abc", b"a" * 55, b"b" * 56, b"c" * 63, b"d" * 64, b"e" * 1000,
+    ])
+    def test_matches_hashlib(self, message):
+        assert crypto.sha256(message) == hashlib.sha256(message).digest()
+
+    def test_chunk_count(self):
+        assert crypto.sha256_chunk_count(0) == 1
+        assert crypto.sha256_chunk_count(55) == 1
+        assert crypto.sha256_chunk_count(56) == 2
+        assert crypto.sha256_chunk_count(119) == 2
+        assert crypto.sha256_chunk_count(120) == 3
+
+
+class TestHmac:
+    def test_matches_stdlib(self):
+        key, message = b"secret-key", b"the message body"
+        assert crypto.hmac_sha256(key, message) == \
+            std_hmac.new(key, message, hashlib.sha256).digest()
+
+    def test_long_key_hashed_first(self):
+        key = b"k" * 100
+        assert crypto.hmac_sha256(key, b"m") == \
+            std_hmac.new(key, b"m", hashlib.sha256).digest()
+
+
+class TestAes:
+    def test_fips197_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        ciphertext = crypto.aes128_encrypt(plaintext, key)
+        assert ciphertext.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_zero_padding_to_block(self):
+        ciphertext = crypto.aes128_encrypt(b"short", b"0" * 16)
+        assert len(ciphertext) == 16
+
+    def test_multi_block(self):
+        ciphertext = crypto.aes128_encrypt(b"x" * 40, b"0" * 16)
+        assert len(ciphertext) == 48
+
+    def test_ecb_identical_blocks_identical_ciphertext(self):
+        ciphertext = crypto.aes128_encrypt(b"A" * 32, b"0" * 16)
+        assert ciphertext[:16] == ciphertext[16:32]
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            crypto.aes128_encrypt(b"data", b"short")
+
+    def test_block_count(self):
+        assert crypto.aes_block_count(0) == 1
+        assert crypto.aes_block_count(16) == 1
+        assert crypto.aes_block_count(17) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(message=st.binary(max_size=300))
+def test_property_sha256_always_matches_hashlib(message):
+    assert crypto.sha256(message) == hashlib.sha256(message).digest()
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=st.binary(min_size=1, max_size=100), message=st.binary(max_size=200))
+def test_property_hmac_always_matches_stdlib(key, message):
+    assert crypto.hmac_sha256(key, message) == \
+        std_hmac.new(key, message, hashlib.sha256).digest()

@@ -1,0 +1,128 @@
+"""Extension workloads: compression, image-rotate, the chained pipeline."""
+
+import zlib
+
+import pytest
+
+from repro.core.harness import ExperimentHarness, clear_boot_checkpoint_cache
+from repro.core.scale import SimScale
+from repro.serverless.engine import install_docker
+from repro.serverless.faas import FaasPlatform, InvocationContext, InvocationRecord
+from repro.workloads.catalog import EXTRA_FUNCTIONS, all_functions, get_function
+from repro.workloads.extras import deploy_video_pipeline
+
+SCALE = SimScale(time=2048, space=32)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_checkpoints():
+    clear_boot_checkpoint_cache()
+    yield
+    clear_boot_checkpoint_cache()
+
+
+def run_handler(function, payload=None):
+    record = InvocationRecord(function.name, function.runtime_name, True, 32, 1)
+    context = InvocationContext(record, {}, {})
+    record.result = function.handler(
+        payload if payload is not None else function.default_payload(), context)
+    return record
+
+
+class TestCatalogIntegration:
+    def test_extras_not_in_default_catalog(self):
+        assert len(all_functions()) == 21
+        assert len(all_functions(include_extras=True)) == 25
+
+    def test_extras_resolvable_by_name(self):
+        assert get_function("compression-go").suite == "extras"
+        assert get_function("video-streaming-go").runtime_name == "go"
+
+    def test_extras_have_images(self):
+        for function in EXTRA_FUNCTIONS:
+            assert function.image("riscv").compressed_size_mb > 0
+            assert function.image("x86").compressed_size_mb > 0
+
+
+class TestCompression:
+    def test_real_zlib_results(self):
+        function = get_function("compression-go")
+        record = run_handler(function)
+        data = function.default_payload()["data"].encode()
+        assert record.result["compressed"] == len(zlib.compress(data, 6))
+        assert record.result["crc32"] == zlib.crc32(data)
+        assert record.result["ratio"] > 2  # repetitive words compress well
+
+    def test_incompressible_payload(self):
+        import os
+        function = get_function("compression-go")
+        blob = os.urandom(512).hex()  # hex of random: ~2x entropy density
+        record = run_handler(function, {"data": blob})
+        assert record.result["ratio"] < 2.1
+
+
+class TestImageRotate:
+    def test_rotation_geometry(self):
+        function = get_function("image-rotate-python")
+        record = run_handler(function, {"width": 8, "height": 4, "seed": 1})
+        # 90 degree rotation swaps dimensions.
+        assert record.result["width"] == 4
+        assert record.result["height"] == 8
+
+    def test_rotation_content(self):
+        function = get_function("image-rotate-python")
+        frame = [[1, 2], [3, 4]]  # rotate cw: [[3,1],[4,2]]
+        record = run_handler(function, {"frame": frame})
+        # checksum = sum(first row) + sum(last row) = (3+1) + (4+2)
+        assert record.result["checksum"] == 10
+
+
+class TestRecognition:
+    def test_classifies_deterministically(self):
+        function = get_function("recognition-python")
+        first = run_handler(function)
+        second = run_handler(function)
+        assert first.result == second.result
+        assert 0 <= first.result["class"] < 10
+
+    def test_requires_frame(self):
+        function = get_function("recognition-python")
+        with pytest.raises(ValueError):
+            run_handler(function, {"frame": []})
+
+
+class TestChainedPipeline:
+    def test_first_request_cold_starts_every_stage(self):
+        platform = FaasPlatform(install_docker("riscv"))
+        driver = deploy_video_pipeline(platform, "riscv")
+        record = platform.invoke(driver.name, driver.default_payload(0))
+        cold_children = [child for child in record.children if child.cold]
+        assert {child.function for child in cold_children} == {
+            "image-rotate-python", "recognition-python",
+        }
+
+    def test_warm_chain_stays_warm(self):
+        platform = FaasPlatform(install_docker("riscv"))
+        driver = deploy_video_pipeline(platform, "riscv")
+        platform.invoke(driver.name, driver.default_payload(0))
+        record = platform.invoke(driver.name, driver.default_payload(1))
+        assert record.children
+        assert not any(child.cold for child in record.children)
+
+    def test_frames_parameter_scales_children(self):
+        platform = FaasPlatform(install_docker("riscv"))
+        driver = deploy_video_pipeline(platform, "riscv")
+        record = platform.invoke(driver.name, {"frames": 3})
+        # 2 children per frame: decode + recognize.
+        assert len(record.children) == 6
+
+    def test_measure_pipeline_amplifies_cold_start(self):
+        harness = ExperimentHarness(isa="riscv", scale=SCALE)
+        pipeline = harness.measure_pipeline(deploy_video_pipeline)
+        assert pipeline.cold.cycles > 5 * pipeline.warm.cycles
+        # The cold driver request embeds three cold inits (driver + 2 stages):
+        # it must dwarf a lone cold function of the same runtime.
+        clear_boot_checkpoint_cache()
+        harness2 = ExperimentHarness(isa="riscv", scale=SCALE)
+        single = harness2.measure_function(get_function("compression-go"))
+        assert pipeline.cold.cycles > single.cold.cycles

@@ -1,0 +1,85 @@
+"""Map-reduce word-count tests: real semantics and chain composition."""
+
+import pytest
+
+from repro.core.harness import ExperimentHarness, clear_boot_checkpoint_cache
+from repro.core.scale import SimScale
+from repro.serverless.engine import install_docker
+from repro.serverless.faas import FaasPlatform
+from repro.workloads.mapreduce import (
+    deploy_wordcount,
+    synth_corpus,
+    word_count,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_checkpoints():
+    clear_boot_checkpoint_cache()
+    yield
+    clear_boot_checkpoint_cache()
+
+
+def make_platform(shards=3):
+    platform = FaasPlatform(install_docker("riscv"))
+    driver = deploy_wordcount(platform, "riscv", shards=shards)
+    return platform, driver
+
+
+class TestWordCountSemantics:
+    def test_word_count_counts(self):
+        counts = word_count("the cat and the hat")
+        assert counts == {"the": 2, "cat": 1, "and": 1, "hat": 1}
+
+    def test_distributed_result_matches_sequential(self):
+        platform, driver = make_platform(shards=4)
+        corpus = synth_corpus(words=500, seed=99)
+        record = platform.invoke(driver.name, {"corpus": corpus})
+        sequential = word_count(corpus)
+        assert record.result["total_words"] == sum(sequential.values())
+        assert record.result["distinct"] == len(sequential)
+        top_word, top_count = record.result["top"][0]
+        assert sequential[top_word] == top_count
+        assert top_count == max(sequential.values())
+
+    def test_shard_count_controls_fanout(self):
+        platform, driver = make_platform(shards=5)
+        record = platform.invoke(driver.name, driver.default_payload(0))
+        mappers = [child for child in record.children
+                   if child.function == "wordcount-mapper-go"]
+        reducers = [child for child in record.children
+                    if child.function == "wordcount-reducer-go"]
+        assert len(mappers) == 5
+        assert len(reducers) == 1
+
+    def test_single_shard_degenerate_case(self):
+        platform, driver = make_platform(shards=1)
+        record = platform.invoke(driver.name, {"corpus": "alpha beta alpha"})
+        assert record.result["total_words"] == 3
+        assert record.result["distinct"] == 2
+
+    def test_empty_corpus(self):
+        platform, driver = make_platform()
+        record = platform.invoke(driver.name, {"corpus": ""})
+        assert record.result["total_words"] == 0
+
+
+class TestMapReduceMeasurement:
+    def test_cold_fanout_amplifies_cold_start(self):
+        harness = ExperimentHarness(isa="riscv",
+                                    scale=SimScale(time=2048, space=32))
+        measurement = harness.measure_pipeline(deploy_wordcount)
+        assert measurement.cold.cycles > 3 * measurement.warm.cycles
+        cold_children = [child for child in measurement.records[0].children
+                         if child.cold]
+        # Mapper and reducer each cold exactly once on the first request.
+        assert {child.function for child in cold_children} == {
+            "wordcount-mapper-go", "wordcount-reducer-go",
+        }
+
+    def test_warm_chain_all_warm(self):
+        platform, driver = make_platform()
+        platform.invoke(driver.name, driver.default_payload(0))
+        record = platform.invoke(driver.name, driver.default_payload(1))
+        assert record.children
+        assert not any(child.cold for child in record.children)
