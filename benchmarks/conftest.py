@@ -25,6 +25,10 @@ from repro.workloads.catalog import (
 
 #: The scaled-machine configuration for the bench runs (see DESIGN.md and
 #: repro.core.scale).  Override with REPRO_TIME_SCALE / REPRO_SPACE_SCALE.
+#: Batches schedule through the parallel measurement engine: REPRO_JOBS
+#: picks the worker count and REPRO_CACHE_DIR / REPRO_RESULT_CACHE
+#: control the persistent result cache, so a re-run with a warm cache
+#: skips simulation entirely.
 BENCH_SCALE = SimScale(
     time=int(os.environ.get("REPRO_TIME_SCALE", "256")),
     space=int(os.environ.get("REPRO_SPACE_SCALE", "16")),
@@ -47,23 +51,42 @@ def write_output(name: str, text: str) -> None:
 
 
 @pytest.fixture(scope="session")
-def riscv_standalone_shop():
-    return reproduce.measure_standalone_shop("riscv", BENCH_SCALE)
+def result_cache():
+    """One cache handle for the whole bench session, reported at the end."""
+    from repro.core.rescache import cache_enabled, ResultCache
+
+    if not cache_enabled():
+        yield None
+        return
+    cache = ResultCache()
+    yield cache
+    stats = cache.stats()
+    print("\n[rescache] %d hit(s), %d miss(es); %d entrie(s) at %s"
+          % (stats["hits"], stats["misses"], stats["entries"], stats["root"]))
 
 
 @pytest.fixture(scope="session")
-def x86_standalone_shop():
-    return reproduce.measure_standalone_shop("x86", BENCH_SCALE)
+def riscv_standalone_shop(result_cache):
+    return reproduce.measure_standalone_shop("riscv", BENCH_SCALE,
+                                             cache=result_cache or False)
 
 
 @pytest.fixture(scope="session")
-def riscv_hotel():
-    return reproduce.measure_hotel("riscv", BENCH_SCALE)
+def x86_standalone_shop(result_cache):
+    return reproduce.measure_standalone_shop("x86", BENCH_SCALE,
+                                             cache=result_cache or False)
 
 
 @pytest.fixture(scope="session")
-def x86_hotel():
-    return reproduce.measure_hotel("x86", BENCH_SCALE)
+def riscv_hotel(result_cache):
+    return reproduce.measure_hotel("riscv", BENCH_SCALE,
+                                   cache=result_cache or False)
+
+
+@pytest.fixture(scope="session")
+def x86_hotel(result_cache):
+    return reproduce.measure_hotel("x86", BENCH_SCALE,
+                                   cache=result_cache or False)
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,13 @@
     python -m repro sizes --arch riscv
     python -m repro dse fibonacci-python --axis l2_size=131072,524288
     python -m repro dbcompare
+    python -m repro cache stats
+    python -m repro bench-smoke --json
+
+Batch commands (suite, dse, reproduce, bench-smoke) schedule through the
+parallel measurement engine: ``--jobs``/``REPRO_JOBS`` picks the worker
+count and the persistent result cache (``REPRO_CACHE_DIR``) skips
+already-measured points unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -45,6 +52,18 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="dynamic-work divisor (default 512)")
     parser.add_argument("--space-scale", type=int, default=16,
                         help="capacity divisor (default 16)")
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="measurement workers (default REPRO_JOBS or all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent result cache")
+
+
+def _cache_from(args):
+    # False disables caching; None lets the engine honour the environment.
+    return False if getattr(args, "no_cache", False) else None
 
 
 def _hotel_services(db_name: str):
@@ -126,15 +145,15 @@ def cmd_compare(args) -> int:
 
 def cmd_suite(args) -> int:
     """Measure a whole suite on one platform."""
+    from repro.core.reproduce import measure_functions
+
     functions = SUITES[args.suite]
-    hotel_suite = _hotel_services(args.db) if args.suite == "hotel" else None
-    measurements = {}
-    for function in functions:
-        harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
-                                    seed=args.seed)
-        measurements[function.name] = harness.measure_function(
-            function, services=_services_for(function, hotel_suite))
-        print("measured %s" % function.name, file=sys.stderr)
+    measurements = measure_functions(
+        functions, args.isa, _scale_from(args), seed=args.seed,
+        db=args.db if args.suite == "hotel" else None,
+        jobs=args.jobs, cache=_cache_from(args),
+        progress=lambda message: print(message, file=sys.stderr),
+    )
     table = cold_warm_table(
         "%s suite on %s (cycles)" % (args.suite, args.isa), measurements,
         metric=lambda stats: stats.cycles,
@@ -175,7 +194,7 @@ def cmd_dse(args) -> int:
             except ValueError:
                 values.append(token)
         space.axis(name, values)
-    result = space.sweep(function)
+    result = space.sweep(function, jobs=args.jobs, cache=_cache_from(args))
     print(result.render())
     print()
     print("sensitivity (max/min cold-cycle swing per axis):")
@@ -260,8 +279,36 @@ def cmd_reproduce(args) -> int:
         db=args.db,
         seed=args.seed,
         progress=lambda message: print(message, file=sys.stderr),
+        jobs=args.jobs,
+        cache=_cache_from(args),
     )
     print("figure data written to %s" % args.out)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the persistent result cache."""
+    from repro.core.rescache import ResultCache
+
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed %d cached measurement(s) from %s" % (removed, cache.root))
+        return 0
+    stats = cache.stats()
+    print("result cache at %s" % stats["root"])
+    print("  entries: %d" % stats["entries"])
+    print("  size:    %.1f KiB" % (stats["bytes"] / 1024.0))
+    return 0
+
+
+def cmd_bench_smoke(args) -> int:
+    """Time the pinned perf-smoke batch; optionally emit JSON."""
+    from repro.core.smoke import render_smoke, run_smoke
+
+    report = run_smoke(jobs=args.jobs,
+                       cache=None if args.use_cache else False)
+    print(render_smoke(report, as_json=args.json))
     return 0
 
 
@@ -325,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--db", default="cassandra")
     suite.add_argument("--seed", type=int, default=0)
     _add_scale_arguments(suite)
+    _add_parallel_arguments(suite)
     suite.set_defaults(func=cmd_suite)
 
     sizes = sub.add_parser("sizes", help="container size table")
@@ -337,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--axis", action="append", required=True,
                      metavar="NAME=V1,V2,...")
     _add_scale_arguments(dse)
+    _add_parallel_arguments(dse)
     dse.set_defaults(func=cmd_dse)
 
     trace = sub.add_parser("trace",
@@ -372,11 +421,27 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--db", default="cassandra")
     reproduce.add_argument("--seed", type=int, default=0)
     _add_scale_arguments(reproduce)
+    _add_parallel_arguments(reproduce)
     reproduce.set_defaults(func=cmd_reproduce)
 
     dbcompare = sub.add_parser("dbcompare",
                                help="MongoDB vs Cassandra under QEMU (Fig 4.20)")
     dbcompare.set_defaults(func=cmd_dbcompare)
+
+    cache = sub.add_parser("cache", help="persistent result cache maintenance")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.set_defaults(func=cmd_cache)
+
+    smoke = sub.add_parser("bench-smoke",
+                           help="time the pinned perf-smoke batch")
+    smoke.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report")
+    smoke.add_argument("--use-cache", action="store_true",
+                       help="allow result-cache hits (timing is then not "
+                            "a simulator benchmark)")
+    smoke.add_argument("--jobs", type=int, default=None,
+                       help="measurement workers (default REPRO_JOBS or all cores)")
+    smoke.set_defaults(func=cmd_bench_smoke)
     return parser
 
 

@@ -32,7 +32,14 @@ from repro.core.harness import (
     LukewarmMeasurement,
     run_suite,
 )
+from repro.core.parallel import (
+    MeasurementTask,
+    execute_task,
+    resolve_jobs,
+    run_measurement_matrix,
+)
 from repro.core.persist import load_measurements, save_measurements
+from repro.core.rescache import ResultCache
 from repro.core.results import MeasurementTable
 from repro.core.scale import BENCH, NATIVE, SimScale, TEST
 
@@ -41,12 +48,17 @@ __all__ = [
     "ExperimentHarness",
     "FunctionMeasurement",
     "MeasurementTable",
+    "MeasurementTask",
     "NATIVE",
     "PlatformConfig",
     "RISCV_PLATFORM",
+    "ResultCache",
     "SimScale",
     "TEST",
     "X86_PLATFORM",
+    "execute_task",
     "platform_for",
+    "resolve_jobs",
+    "run_measurement_matrix",
     "run_suite",
 ]

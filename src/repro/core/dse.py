@@ -167,22 +167,43 @@ class DesignSpace:
             o3_config=O3Config(**o3_kwargs),
         )
 
-    def sweep(self, function, services_factory=None, seed: int = 0) -> SweepResult:
+    def sweep(self, function, services_factory=None, seed: int = 0,
+              jobs: Optional[int] = None, cache=None) -> SweepResult:
         """Measure the function at every point of the cartesian product.
 
-        ``services_factory`` (optional) builds fresh bound services per
-        design point, for database-backed functions.
+        Points are scheduled through the parallel measurement engine and
+        the result cache (each point's platform fingerprint is part of
+        its cache key), returned in cartesian-product order regardless
+        of worker count.  ``services_factory`` (optional) builds fresh
+        bound services per design point for database-backed functions
+        and forces the in-process serial path.
         """
         if not self._axes:
             raise ValueError("add at least one axis before sweeping")
         names = [name for name, _values in self._axes]
-        points: List[DesignPoint] = []
-        for combo in itertools.product(*(values for _name, values in self._axes)):
-            settings = dict(zip(names, combo))
-            platform = self._platform_for(settings)
-            harness = ExperimentHarness(isa=self.isa, scale=self.scale,
-                                        platform_config=platform, seed=seed)
-            services = services_factory() if services_factory else {}
-            measurement = harness.measure_function(function, services=services)
-            points.append(DesignPoint(settings, measurement))
+        combos = [dict(zip(names, combo)) for combo in
+                  itertools.product(*(values for _name, values in self._axes))]
+
+        if services_factory is not None:
+            points: List[DesignPoint] = []
+            for settings in combos:
+                harness = ExperimentHarness(
+                    isa=self.isa, scale=self.scale,
+                    platform_config=self._platform_for(settings), seed=seed)
+                measurement = harness.measure_function(
+                    function, services=services_factory())
+                points.append(DesignPoint(settings, measurement))
+            return SweepResult(function.name, self.isa, points)
+
+        from repro.core.parallel import MeasurementTask, run_measurement_matrix
+
+        tasks = [
+            MeasurementTask(function=function.name, isa=self.isa,
+                            time=self.scale.time, space=self.scale.space,
+                            seed=seed, platform=self._platform_for(settings))
+            for settings in combos
+        ]
+        measured = run_measurement_matrix(tasks, jobs=jobs, cache=cache)
+        points = [DesignPoint(settings, measurement)
+                  for settings, measurement in zip(combos, measured)]
         return SweepResult(function.name, self.isa, points)

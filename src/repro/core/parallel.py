@@ -1,0 +1,169 @@
+"""Parallel measurement engine: fan the experiment matrix over processes.
+
+The evaluation batches (Fig 4.4-4.19) are a (function × ISA × scale ×
+seed) matrix of measurements that share no simulator state — each point
+boots its own platform, restores its own checkpoint and runs its own
+request protocol.  That makes them embarrassingly parallel, the same
+observation FireSim-scale studies exploit by running many simulator
+instances instead of accelerating one.  This module schedules the matrix
+over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* every matrix point is a picklable :class:`MeasurementTask` (names and
+  scalars only — workers rebuild functions, suites and harnesses
+  themselves, so no live simulator object ever crosses a process);
+* results come back in deterministic matrix order, bit-identical to the
+  serial path (the serial fallback runs the exact same
+  :func:`execute_task` per point);
+* worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``);
+  ``REPRO_JOBS=1`` runs serially in-process;
+* a :class:`repro.core.rescache.ResultCache` layer short-circuits points
+  whose digest has been measured before, so warm re-runs skip simulation
+  entirely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.config import PlatformConfig, platform_for
+from repro.core.harness import ExperimentHarness, FunctionMeasurement
+from repro.core.rescache import ResultCache, measurement_digest, resolve_cache
+from repro.core.scale import SimScale
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """One point of the measurement matrix, picklable by construction.
+
+    ``db`` names a datastore for the hotel functions; the executing
+    worker builds a fresh :class:`~repro.workloads.hotel.HotelSuite`
+    around it, so every task sees the same pristine dataset no matter
+    which process (or position in the batch) runs it.
+    """
+
+    function: str
+    isa: str
+    time: int
+    space: int
+    seed: int = 0
+    db: Optional[str] = None
+    requests: int = 10
+    platform: Optional[PlatformConfig] = None
+
+    @property
+    def scale(self) -> SimScale:
+        return SimScale(time=self.time, space=self.space)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else all cores."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def task_digest(task: MeasurementTask) -> str:
+    """Content address of a task for the result cache."""
+    platform = task.platform or platform_for(task.isa)
+    return measurement_digest(
+        function=task.function,
+        isa=task.isa,
+        time_scale=task.time,
+        space_scale=task.space,
+        seed=task.seed,
+        fingerprint=platform.fingerprint(),
+        db=task.db,
+        requests=task.requests,
+    )
+
+
+def execute_task(task: MeasurementTask) -> FunctionMeasurement:
+    """Measure one matrix point from scratch.
+
+    Runs identically in-process and in a pool worker: a fresh harness, a
+    fresh suite for database-backed functions, and the process-local boot
+    checkpoint cache (boot is deterministic per key, so a worker's cold
+    checkpoint equals the serial path's cached one).
+    """
+    if task.db:
+        from repro.db import make_datastore
+        from repro.workloads.hotel import HotelSuite
+
+        suite = HotelSuite(make_datastore(task.db))
+        matches = [fn for fn in suite.functions if fn.name == task.function]
+        if not matches:
+            raise KeyError("no hotel function %r (have %s)" % (
+                task.function, sorted(fn.name for fn in suite.functions)))
+        function = matches[0]
+        services = suite.services_for(function)
+    else:
+        from repro.workloads.catalog import get_function
+
+        function = get_function(task.function)
+        services = {}
+    harness = ExperimentHarness(isa=task.isa, scale=task.scale,
+                                platform_config=task.platform, seed=task.seed)
+    return harness.measure_function(function, services=services,
+                                    requests=task.requests)
+
+
+def _pool_context():
+    # fork keeps workers cheap and inherits the warmed import state; fall
+    # back to the platform default where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_measurement_matrix(
+    tasks: Iterable[MeasurementTask],
+    jobs: Optional[int] = None,
+    cache=None,
+) -> List[FunctionMeasurement]:
+    """Measure every task, returning results in the tasks' order.
+
+    Cache hits are filled in first; only the remaining points are
+    simulated, serially for ``jobs <= 1`` and over a process pool
+    otherwise.  The output is positionally aligned with ``tasks`` and
+    independent of worker count.
+    """
+    tasks = list(tasks)
+    resolved_cache: Optional[ResultCache] = resolve_cache(cache)
+    results: List[Optional[FunctionMeasurement]] = [None] * len(tasks)
+    digests: List[Optional[str]] = [None] * len(tasks)
+
+    pending: List[int] = []
+    for index, task in enumerate(tasks):
+        if resolved_cache is not None:
+            digests[index] = task_digest(task)
+            hit = resolved_cache.get(digests[index])
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+
+    if pending:
+        workers = min(resolve_jobs(jobs), len(pending))
+        if workers <= 1:
+            fresh: Sequence[FunctionMeasurement] = [
+                execute_task(tasks[index]) for index in pending
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=_pool_context()) as pool:
+                fresh = list(pool.map(execute_task,
+                                      [tasks[index] for index in pending]))
+        for index, measurement in zip(pending, fresh):
+            results[index] = measurement
+            if resolved_cache is not None:
+                resolved_cache.put(digests[index], measurement)
+
+    return results  # type: ignore[return-value]

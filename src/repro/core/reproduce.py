@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.core.harness import ExperimentHarness, FunctionMeasurement
+from repro.core.parallel import MeasurementTask, run_measurement_matrix
 from repro.core.results import cold_warm_table, isa_comparison_table
 from repro.core.scale import BENCH, SimScale
 
@@ -23,38 +24,73 @@ def measure_functions(
     services_for=None,
     seed: int = 0,
     progress=None,
+    db: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache=None,
+    requests: int = 10,
 ) -> Dict[str, FunctionMeasurement]:
-    """Run the 10-request protocol for a batch of functions on one ISA."""
-    measurements: Dict[str, FunctionMeasurement] = {}
-    for function in functions:
-        harness = ExperimentHarness(isa=isa, scale=scale, seed=seed)
-        services = services_for(function) if services_for else {}
-        measurements[function.name] = harness.measure_function(
-            function, services=services)
+    """Run the 10-request protocol for a batch of functions on one ISA.
+
+    The batch is scheduled through :mod:`repro.core.parallel` — cache
+    hits skip simulation, the rest fans out over ``jobs`` workers
+    (``REPRO_JOBS`` by default) in deterministic matrix order.  Database
+    backed functions are named via ``db``; each task then builds its own
+    pristine :class:`~repro.workloads.hotel.HotelSuite` so results do
+    not depend on batch position or worker assignment.
+
+    ``services_for`` (legacy) binds arbitrary live service objects and
+    forces the in-process serial path, since live services cannot cross
+    a process boundary.
+    """
+    functions = list(functions)
+    if services_for is not None:
+        measurements: Dict[str, FunctionMeasurement] = {}
+        for function in functions:
+            harness = ExperimentHarness(isa=isa, scale=scale, seed=seed)
+            measurements[function.name] = harness.measure_function(
+                function, services=services_for(function), requests=requests)
+            if progress is not None:
+                progress("measured %s on %s" % (function.name, isa))
+        return measurements
+
+    tasks = [
+        MeasurementTask(function=function.name, isa=isa, time=scale.time,
+                        space=scale.space, seed=seed, db=db, requests=requests)
+        for function in functions
+    ]
+    measured = run_measurement_matrix(tasks, jobs=jobs, cache=cache)
+    measurements = {}
+    for function, measurement in zip(functions, measured):
+        measurements[function.name] = measurement
         if progress is not None:
             progress("measured %s on %s" % (function.name, isa))
     return measurements
 
 
 def measure_standalone_shop(isa: str, scale: SimScale = BENCH, seed: int = 0,
-                            progress=None) -> Dict[str, FunctionMeasurement]:
+                            progress=None, jobs: Optional[int] = None,
+                            cache=None) -> Dict[str, FunctionMeasurement]:
     """The Fig 4.4/4.12/4.15-4.18 batch: standalone + online shop."""
     from repro.workloads.catalog import ONLINESHOP_FUNCTIONS, STANDALONE_FUNCTIONS
 
     return measure_functions(STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS,
-                             isa, scale, seed=seed, progress=progress)
+                             isa, scale, seed=seed, progress=progress,
+                             jobs=jobs, cache=cache)
 
 
 def measure_hotel(isa: str, scale: SimScale = BENCH, db: str = "cassandra",
-                  seed: int = 0, progress=None) -> Dict[str, FunctionMeasurement]:
-    """The Fig 4.5/4.14/4.19 batch: the hotel suite over a database."""
-    from repro.db import make_datastore
-    from repro.workloads.hotel import HotelSuite
+                  seed: int = 0, progress=None, jobs: Optional[int] = None,
+                  cache=None) -> Dict[str, FunctionMeasurement]:
+    """The Fig 4.5/4.14/4.19 batch: the hotel suite over a database.
 
-    suite = HotelSuite(make_datastore(db))
-    return measure_functions(suite.functions, isa, scale,
-                             services_for=suite.services_for, seed=seed,
-                             progress=progress)
+    Every function is measured against its own freshly seeded suite (the
+    dataset is deterministic), so the batch parallelises and caches per
+    function.
+    """
+    from repro.workloads.hotel import make_hotel_functions
+
+    return measure_functions(make_hotel_functions(), isa, scale, seed=seed,
+                             progress=progress, db=db, jobs=jobs, cache=cache)
 
 
 def qemu_database_comparison(progress=None) -> Dict[Tuple[str, str], Tuple[float, float]]:
@@ -101,6 +137,8 @@ def reproduce_all(
     db: str = "cassandra",
     seed: int = 0,
     progress=None,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Any]:
     """Regenerate every evaluation figure's data; optionally write files.
 
@@ -118,12 +156,14 @@ def reproduce_all(
     hotel_order = [fn.name for fn in HOTEL_FUNCTIONS]
 
     batches: Dict[str, Any] = {
-        "riscv_standalone_shop": measure_standalone_shop("riscv", scale, seed,
-                                                         progress),
-        "x86_standalone_shop": measure_standalone_shop("x86", scale, seed,
-                                                       progress),
-        "riscv_hotel": measure_hotel("riscv", scale, db, seed, progress),
-        "x86_hotel": measure_hotel("x86", scale, db, seed, progress),
+        "riscv_standalone_shop": measure_standalone_shop(
+            "riscv", scale, seed, progress, jobs=jobs, cache=cache),
+        "x86_standalone_shop": measure_standalone_shop(
+            "x86", scale, seed, progress, jobs=jobs, cache=cache),
+        "riscv_hotel": measure_hotel("riscv", scale, db, seed, progress,
+                                     jobs=jobs, cache=cache),
+        "x86_hotel": measure_hotel("x86", scale, db, seed, progress,
+                                   jobs=jobs, cache=cache),
         "qemu_db_comparison": qemu_database_comparison(progress),
     }
 

@@ -1,0 +1,74 @@
+"""Perf smoke harness: time a fixed measurement batch, emit JSON.
+
+``python -m repro bench-smoke --json`` runs a pinned batch (standalone +
+online shop + hotel on RISC-V, TEST scale, seed 0) with the result cache
+disabled, so the number it reports is honest simulation wall-clock.  The
+JSON is the perf trajectory's unit of record: CI uploads one per run, and
+a future regression in the simulator hot path shows up as a step in
+``wall_s`` under identical work.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional
+
+#: Bump when the smoke workload itself changes, so trajectories are only
+#: compared within a generation.
+SMOKE_SCHEMA = "repro-bench-smoke/1"
+
+
+def run_smoke(jobs: Optional[int] = None, cache=False) -> Dict[str, Any]:
+    """Run the pinned smoke batch; returns the JSON-ready report."""
+    from repro.core.parallel import resolve_jobs
+    from repro.core.reproduce import measure_hotel, measure_standalone_shop
+    from repro.core.scale import TEST
+
+    resolved_jobs = resolve_jobs(jobs)
+    batches: Dict[str, Dict[str, Any]] = {}
+
+    start_total = time.perf_counter()
+    start = time.perf_counter()
+    standalone = measure_standalone_shop("riscv", TEST, seed=0, jobs=jobs,
+                                         cache=cache)
+    batches["riscv_standalone_shop"] = {
+        "functions": len(standalone),
+        "wall_s": round(time.perf_counter() - start, 3),
+    }
+    start = time.perf_counter()
+    hotel = measure_hotel("riscv", TEST, db="cassandra", seed=0, jobs=jobs,
+                          cache=cache)
+    batches["riscv_hotel"] = {
+        "functions": len(hotel),
+        "wall_s": round(time.perf_counter() - start, 3),
+    }
+    wall_total = time.perf_counter() - start_total
+
+    total_instructions = sum(
+        m.cold.instructions + m.warm.instructions
+        for batch in (standalone, hotel) for m in batch.values()
+    )
+    return {
+        "schema": SMOKE_SCHEMA,
+        "scale": {"time": TEST.time, "space": TEST.space},
+        "seed": 0,
+        "jobs": resolved_jobs,
+        "cache": "disabled" if cache is False else "enabled",
+        "batches": batches,
+        "functions": sum(b["functions"] for b in batches.values()),
+        "simulated_instructions": total_instructions,
+        "wall_s": round(wall_total, 3),
+    }
+
+
+def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
+    """Render the report for the CLI (JSON or a short human summary)."""
+    if as_json:
+        return json.dumps(report, indent=2, sort_keys=True)
+    lines = ["bench-smoke: %d functions in %.2fs (%d jobs, cache %s)" % (
+        report["functions"], report["wall_s"], report["jobs"], report["cache"])]
+    for name, batch in report["batches"].items():
+        lines.append("  %-24s %2d functions  %8.2fs"
+                     % (name, batch["functions"], batch["wall_s"]))
+    return "\n".join(lines)

@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.sim.cpu.base import BaseCpu, RunResult
 from repro.sim.cpu.bpred import make_predictor
-from repro.sim.isa.base import InstrClass
+from repro.sim.isa.base import NUM_ARCH_REGS, InstrClass
 from repro.sim.mem.hierarchy import CoreMemSystem
 from repro.sim.statistics import StatGroup
 
@@ -89,6 +89,20 @@ _UNPIPELINED = frozenset({InstrClass.IDIV, InstrClass.FDIV})
 #: Serializing instructions drain the ROB before dispatch.
 _SERIALIZING = frozenset({InstrClass.SYSCALL, InstrClass.CSR})
 
+#: The dict/set views above, flattened into tuples indexed by instruction
+#: class so the per-instruction loop pays a list index instead of a hash.
+_NUM_CLASSES = len(InstrClass.NAMES)
+_LATENCY_BY_CLASS = tuple(
+    _OP_LATENCY.get(icls, 1) for icls in range(_NUM_CLASSES)
+)
+_BUSY_BY_CLASS = tuple(
+    (_OP_LATENCY.get(icls, 1) if icls in _UNPIPELINED else 1)
+    for icls in range(_NUM_CLASSES)
+)
+_SERIALIZING_BY_CLASS = tuple(
+    icls in _SERIALIZING for icls in range(_NUM_CLASSES)
+)
+
 
 class _FuPool:
     """A small pool of identical functional units."""
@@ -101,6 +115,11 @@ class _FuPool:
     def acquire(self, earliest: int, busy_for: int) -> int:
         """Earliest issue on any unit at/after ``earliest``; book the unit."""
         free = self.free_at
+        if len(free) == 1:
+            best_time = free[0]
+            issue = earliest if earliest >= best_time else best_time
+            free[0] = issue + busy_for
+            return issue
         best = 0
         best_time = free[0]
         for index in range(1, len(free)):
@@ -143,7 +162,12 @@ class O3Cpu(BaseCpu):
         names = InstrClass.NAMES
         by_class = self.stat_by_class
 
-        reg_ready = [0] * 160  # architectural scoreboard (int+fp+addr)
+        # Architectural scoreboard sized from the ISA's register-index
+        # space and the configured rename register files, so DSE points
+        # with larger register files cannot index out of range.  The +32
+        # keeps room above NUM_ARCH_REGS for address/temporary lanes.
+        scoreboard_size = max(NUM_ARCH_REGS + 32, cfg.int_regs + cfg.float_regs)
+        reg_ready = [0] * scoreboard_size
 
         rob = deque()        # commit cycles, program order
         load_queue = deque()  # completion cycles of in-flight loads
@@ -154,22 +178,44 @@ class O3Cpu(BaseCpu):
         fu_div = _FuPool(cfg.int_div_units)
         fu_fp = _FuPool(cfg.fp_units)
         fu_mem = _FuPool(cfg.mem_ports)
-        fu_map = {
-            InstrClass.IALU: fu_alu,
-            InstrClass.IMUL: fu_mul,
-            InstrClass.IDIV: fu_div,
-            InstrClass.FALU: fu_fp,
-            InstrClass.FMUL: fu_fp,
-            InstrClass.FDIV: fu_fp,
-            InstrClass.LOAD: fu_mem,
-            InstrClass.STORE: fu_mem,
-            InstrClass.BRANCH: fu_alu,
-            InstrClass.CALL: fu_alu,
-            InstrClass.RET: fu_alu,
-            InstrClass.SYSCALL: fu_alu,
-            InstrClass.CSR: fu_alu,
-            InstrClass.NOP: fu_alu,
-        }
+        fu_by_class = (
+            fu_alu,   # IALU
+            fu_mul,   # IMUL
+            fu_div,   # IDIV
+            fu_fp,    # FALU
+            fu_fp,    # FMUL
+            fu_fp,    # FDIV
+            fu_mem,   # LOAD
+            fu_mem,   # STORE
+            fu_alu,   # BRANCH
+            fu_alu,   # CALL
+            fu_alu,   # RET
+            fu_alu,   # SYSCALL
+            fu_alu,   # CSR
+            fu_alu,   # NOP
+        )
+        # Bound-method and table hoists: the loop below runs once per
+        # dynamic instruction, so every attribute/hash lookup hoisted here
+        # is worth percent-level wall clock on the full matrix.
+        acquire_by_class = tuple(pool.acquire for pool in fu_by_class)
+        latency_by_class = _LATENCY_BY_CLASS
+        busy_by_class = _BUSY_BY_CLASS
+        serializing_by_class = _SERIALIZING_BY_CLASS
+        ifetch = mem.ifetch
+        data_access = mem.data_access
+        predict_and_update = bpred.predict_and_update
+        dispatch_width = cfg.dispatch_width
+        commit_width = cfg.commit_width
+        rob_entries = cfg.rob_entries
+        lq_entries = cfg.lq_entries
+        sq_entries = cfg.sq_entries
+        mispredict_penalty = cfg.mispredict_penalty
+        rob_popleft = rob.popleft
+        rob_append = rob.append
+        lq_popleft = load_queue.popleft
+        lq_append = load_queue.append
+        sq_popleft = store_queue.popleft
+        sq_append = store_queue.append
 
         # Width-limited in-order stages track a (cycle, slots-used) pair.
         dispatch_cycle = 0
@@ -187,6 +233,13 @@ class O3Cpu(BaseCpu):
         is_load = InstrClass.LOAD
         is_store = InstrClass.STORE
         is_branch = InstrClass.BRANCH
+
+        # Per-run stat accumulators, flushed to the Stat objects once at
+        # the end instead of per event.
+        class_counts = [0] * _NUM_CLASSES
+        rob_stalls = 0
+        lsq_stalls = 0
+        squashes = 0
 
         # Rotation state for repeated (micro-looped) instructions: dynamic
         # instances of the same static instruction cycle through their
@@ -207,7 +260,7 @@ class O3Cpu(BaseCpu):
             pc_line = pc & line_mask
             if pc_line != current_line:
                 fetch_start = dispatch_cycle if dispatch_cycle > redirect_at else redirect_at
-                latency = mem.ifetch(pc, fetch_start)
+                latency = ifetch(pc, fetch_start)
                 miss_extra = latency - l1_latency
                 line_ready = fetch_start + (miss_extra if miss_extra > 0 else 0)
                 current_line = pc_line
@@ -220,7 +273,7 @@ class O3Cpu(BaseCpu):
             if earliest_dispatch > dispatch_cycle:
                 dispatch_cycle = earliest_dispatch
                 dispatch_slots = 1
-            elif dispatch_slots < cfg.dispatch_width:
+            elif dispatch_slots < dispatch_width:
                 dispatch_slots += 1
             else:
                 dispatch_cycle += 1
@@ -228,35 +281,35 @@ class O3Cpu(BaseCpu):
 
             # ROB occupancy.
             while rob and rob[0] <= dispatch_cycle:
-                rob.popleft()
-            if len(rob) >= cfg.rob_entries:
-                stall_until = rob.popleft()
+                rob_popleft()
+            if len(rob) >= rob_entries:
+                stall_until = rob_popleft()
                 if stall_until > dispatch_cycle:
                     dispatch_cycle = stall_until
                     dispatch_slots = 1
-                self.stat_rob_stalls.inc()
+                rob_stalls += 1
 
             # LSQ occupancy.
             if icls == is_load:
                 while load_queue and load_queue[0] <= dispatch_cycle:
-                    load_queue.popleft()
-                if len(load_queue) >= cfg.lq_entries:
-                    stall_until = load_queue.popleft()
+                    lq_popleft()
+                if len(load_queue) >= lq_entries:
+                    stall_until = lq_popleft()
                     if stall_until > dispatch_cycle:
                         dispatch_cycle = stall_until
                         dispatch_slots = 1
-                    self.stat_lsq_stalls.inc()
+                    lsq_stalls += 1
             elif icls == is_store:
                 while store_queue and store_queue[0] <= dispatch_cycle:
-                    store_queue.popleft()
-                if len(store_queue) >= cfg.sq_entries:
-                    stall_until = store_queue.popleft()
+                    sq_popleft()
+                if len(store_queue) >= sq_entries:
+                    stall_until = sq_popleft()
                     if stall_until > dispatch_cycle:
                         dispatch_cycle = stall_until
                         dispatch_slots = 1
-                    self.stat_lsq_stalls.inc()
+                    lsq_stalls += 1
 
-            if icls in _SERIALIZING and last_commit > dispatch_cycle:
+            if serializing_by_class[icls] and last_commit > dispatch_cycle:
                 # Serializing ops wait for the pipeline to drain.
                 dispatch_cycle = last_commit
                 dispatch_slots = 1
@@ -277,29 +330,28 @@ class O3Cpu(BaseCpu):
                     ready = src_ready
 
             if icls == is_load:
-                issue = fu_map[icls].acquire(ready, 1)
-                latency = mem.data_access(addr, False, issue, pc)
+                issue = acquire_by_class[icls](ready, 1)
+                latency = data_access(addr, False, issue, pc)
                 complete = issue + latency
-                load_queue.append(complete)
+                lq_append(complete)
                 loads += 1
             elif icls == is_store:
-                issue = fu_map[icls].acquire(ready, 1)
-                mem.data_access(addr, True, issue, pc)
+                issue = acquire_by_class[icls](ready, 1)
+                data_access(addr, True, issue, pc)
                 complete = issue + 1
-                store_queue.append(complete)
+                sq_append(complete)
                 stores += 1
             else:
-                latency = _OP_LATENCY[icls]
-                busy = latency if icls in _UNPIPELINED else 1
-                issue = fu_map[icls].acquire(ready, busy)
+                latency = latency_by_class[icls]
+                issue = acquire_by_class[icls](ready, busy_by_class[icls])
                 complete = issue + latency
                 if icls == is_branch:
                     branches += 1
-                    if not bpred.predict_and_update(pc, taken):
-                        squash_at = complete + cfg.mispredict_penalty
+                    if not predict_and_update(pc, taken):
+                        squash_at = complete + mispredict_penalty
                         if squash_at > redirect_at:
                             redirect_at = squash_at
-                        self.stat_mispredict_squashes.inc()
+                        squashes += 1
 
             if dst >= 0:
                 reg_ready[dst] = complete
@@ -311,16 +363,26 @@ class O3Cpu(BaseCpu):
             if earliest_commit > commit_cycle:
                 commit_cycle = earliest_commit
                 commit_slots = 1
-            elif commit_slots < cfg.commit_width:
+            elif commit_slots < commit_width:
                 commit_slots += 1
             else:
                 commit_cycle += 1
                 commit_slots = 1
             last_commit = commit_cycle
-            rob.append(commit_cycle)
+            rob_append(commit_cycle)
 
             instructions += 1
-            by_class.inc(names[icls])
+            class_counts[icls] += 1
+
+        for icls, count in enumerate(class_counts):
+            if count:
+                by_class.inc(names[icls], count)
+        if rob_stalls:
+            self.stat_rob_stalls.inc(rob_stalls)
+        if lsq_stalls:
+            self.stat_lsq_stalls.inc(lsq_stalls)
+        if squashes:
+            self.stat_mispredict_squashes.inc(squashes)
 
         total_cycles = last_commit
         self.stat_cycles.inc(total_cycles)

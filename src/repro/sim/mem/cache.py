@@ -12,11 +12,39 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.sim.mem.replacement import ReplacementPolicy, make_policy
-from repro.sim.statistics import StatGroup
+from repro.sim.statistics import Stat, StatGroup
 
 
 def _is_pow2(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
+
+
+class _CounterView(Stat):
+    """A gem5-protocol stat backed by a plain attribute on the cache.
+
+    The access path increments ``owner.<attr>`` as a bare integer (no
+    bound-method call per access); this view keeps the reset/dump
+    protocol working by remembering the attribute's value at the last
+    reset and reporting the delta.
+    """
+
+    def __init__(self, name: str, owner: "Cache", attr: str, desc: str = ""):
+        super().__init__(name, desc)
+        self._owner = owner
+        self._attr = attr
+        self._base = 0
+
+    def inc(self, amount: int = 1) -> None:
+        setattr(self._owner, self._attr, getattr(self._owner, self._attr) + amount)
+
+    def reset(self) -> None:
+        self._base = getattr(self._owner, self._attr)
+
+    def value(self) -> int:
+        return getattr(self._owner, self._attr) - self._base
+
+    def __repr__(self) -> str:
+        return "_CounterView(%s=%s)" % (self.name, self.value())
 
 
 class Cache:
@@ -30,6 +58,7 @@ class Cache:
         line_size: int = 64,
         policy: str = "lru",
         stats_parent: Optional[StatGroup] = None,
+        policy_kwargs: Optional[Dict] = None,
     ):
         if not _is_pow2(line_size):
             raise ValueError("line size must be a power of two, got %d" % line_size)
@@ -50,19 +79,31 @@ class Cache:
         self._set_mask = num_sets - 1
         self._line_shift = line_size.bit_length() - 1
         self.policy_name = policy
+        self._policy_kwargs: Dict = dict(policy_kwargs or {})
 
         self._sets: List[Set[int]] = [set() for _ in range(num_sets)]
         self._dirty: List[Set[int]] = [set() for _ in range(num_sets)]
         self._policies: List[ReplacementPolicy] = [
-            make_policy(policy, seed=index) for index in range(num_sets)
+            self._make_policy(index) for index in range(num_sets)
         ]
+
+        # Hot-path counters are plain ints; the registered stats are
+        # views over them so reset/dump still work (see _CounterView).
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
 
         stats = (stats_parent or StatGroup("orphan")).group(name)
         self.stats = stats
-        self.stat_accesses = stats.scalar("accesses", "total demand accesses")
-        self.stat_hits = stats.scalar("hits", "demand hits")
-        self.stat_misses = stats.scalar("misses", "demand misses")
-        self.stat_writebacks = stats.scalar("writebacks", "dirty lines evicted")
+        self.stat_accesses = stats.add(_CounterView(
+            "accesses", self, "accesses", "total demand accesses"))
+        self.stat_hits = stats.add(_CounterView(
+            "hits", self, "hits", "demand hits"))
+        self.stat_misses = stats.add(_CounterView(
+            "misses", self, "misses", "demand misses"))
+        self.stat_writebacks = stats.add(_CounterView(
+            "writebacks", self, "writebacks", "dirty lines evicted"))
         stats.formula(
             "missRate",
             lambda: (self.stat_misses.value() / self.stat_accesses.value())
@@ -70,6 +111,18 @@ class Cache:
             else 0.0,
             "misses / accesses",
         )
+
+    def _make_policy(self, index: int) -> ReplacementPolicy:
+        """The single construction point for per-set replacement policies.
+
+        ``__init__``, :meth:`flush` and :meth:`load_state` all build
+        policies here, so a restore can never diverge from the original
+        configuration (seed or custom kwargs).  A caller-supplied seed in
+        ``policy_kwargs`` overrides the per-set default.
+        """
+        kwargs = dict(self._policy_kwargs)
+        kwargs.setdefault("seed", index)
+        return make_policy(self.policy_name, **kwargs)
 
     # -- core access path ---------------------------------------------------
 
@@ -84,22 +137,23 @@ class Cache:
         """
         index = line & self._set_mask
         resident = self._sets[index]
-        policy = self._policies[index]
-        self.stat_accesses.inc()
+        self.accesses += 1
         if line in resident:
-            self.stat_hits.inc()
-            policy.touch(line)
+            self.hits += 1
+            self._policies[index].touch(line)
             if write:
                 self._dirty[index].add(line)
             return True
-        self.stat_misses.inc()
+        self.misses += 1
+        policy = self._policies[index]
         if len(resident) >= self.assoc:
             victim = policy.victim()
             policy.evict(victim)
             resident.discard(victim)
-            if victim in self._dirty[index]:
-                self._dirty[index].discard(victim)
-                self.stat_writebacks.inc()
+            dirty = self._dirty[index]
+            if victim in dirty:
+                dirty.discard(victim)
+                self.writebacks += 1
         resident.add(line)
         policy.insert(line)
         if write:
@@ -123,7 +177,7 @@ class Cache:
             resident.discard(victim)
             if victim in self._dirty[index]:
                 self._dirty[index].discard(victim)
-                self.stat_writebacks.inc()
+                self.writebacks += 1
         resident.add(line)
         policy.insert(line)
 
@@ -139,8 +193,8 @@ class Cache:
             writebacks += len(self._dirty[index])
             self._sets[index].clear()
             self._dirty[index].clear()
-            self._policies[index] = make_policy(self.policy_name, seed=index)
-        self.stat_writebacks.inc(writebacks)
+            self._policies[index] = self._make_policy(index)
+        self.writebacks += writebacks
         return writebacks
 
     def resident_lines(self) -> int:
@@ -169,7 +223,7 @@ class Cache:
                    self.line_size)
             )
         for index, (tags, dirty) in enumerate(zip(state["sets"], state["dirty"])):
-            policy = make_policy(self.policy_name, seed=index)
+            policy = self._make_policy(index)
             self._sets[index] = set(tags)
             self._dirty[index] = set(dirty)
             for tag in tags:  # re-establish recency order

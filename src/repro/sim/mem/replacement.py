@@ -117,15 +117,21 @@ _POLICIES = {
 }
 
 
-def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name (lru / fifo / random)."""
+def make_policy(name: str, seed: Optional[int] = None,
+                **kwargs) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (lru / fifo / random).
+
+    Extra keyword arguments are forwarded to the policy constructor, so a
+    cache built with custom policy parameters can rebuild identical
+    policies on flush/restore.
+    """
     try:
         cls = _POLICIES[name]
     except KeyError:
         raise ValueError("unknown replacement policy %r; have %s" % (name, sorted(_POLICIES)))
     if cls is RandomPolicy:
-        return cls(seed or 0)
-    return cls()
+        kwargs.setdefault("seed", seed or 0)
+    return cls(**kwargs)
 
 
 def policy_names() -> List[str]:

@@ -1,0 +1,24 @@
+"""Shared tier-1 fixtures: keep the persistent result cache hermetic.
+
+The measurement engine caches ``FunctionMeasurement`` results on disk by
+default (``repro.core.rescache``).  Tests must neither read a developer's
+warm cache (stale entries would mask simulator changes) nor pollute it,
+so the whole session is pointed at a throwaway directory.  Caching
+itself stays enabled — the cache layer is part of what the suite tests.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("rescache")
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
