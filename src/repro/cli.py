@@ -6,6 +6,7 @@
     python -m repro measure fibonacci-go --isa riscv
     python -m repro compare aes-python --isas riscv,x86
     python -m repro suite hotel --isa riscv --db cassandra
+    python -m repro trace fibonacci --isa riscv64 --out trace.json
     python -m repro sizes --arch riscv
     python -m repro dse fibonacci-python --axis l2_size=131072,524288
     python -m repro dbcompare
@@ -41,6 +42,38 @@ SUITES = {
     "onlineshop": ONLINESHOP_FUNCTIONS,
     "hotel": HOTEL_FUNCTIONS,
 }
+
+
+#: Common vendor spellings accepted anywhere an ISA is taken.
+_ISA_SPELLINGS = {
+    "riscv": "riscv", "riscv64": "riscv", "rv64": "riscv", "rv64gc": "riscv",
+    "x86": "x86", "x86_64": "x86", "amd64": "x86",
+    "arm": "arm", "arm64": "arm", "aarch64": "arm",
+}
+
+
+def _normalize_isa(value: str) -> str:
+    """argparse type: fold riscv64/rv64, x86_64/amd64, aarch64 spellings."""
+    try:
+        return _ISA_SPELLINGS[value.strip().lower()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            "unknown ISA %r (try riscv, x86 or arm)" % value) from None
+
+
+def _resolve_function(name: str):
+    """Catalog lookup that also accepts runtime-less names: ``fibonacci``
+    resolves to ``fibonacci-python`` (python, then go, then nodejs)."""
+    try:
+        return get_function(name)
+    except KeyError:
+        for suffix in ("-python", "-go", "-nodejs"):
+            try:
+                return get_function(name + suffix)
+            except KeyError:
+                continue
+        raise SystemExit("no benchmark function %r (see `python -m repro list`)"
+                         % name)
 
 
 def _scale_from(args) -> SimScale:
@@ -145,13 +178,15 @@ def cmd_compare(args) -> int:
 
 def cmd_suite(args) -> int:
     """Measure a whole suite on one platform."""
-    from repro.core.reproduce import measure_functions
+    from repro.core.reproduce import measure
+    from repro.core.spec import MeasurementSpec
 
     functions = SUITES[args.suite]
-    measurements = measure_functions(
-        functions, args.isa, _scale_from(args), seed=args.seed,
-        db=args.db if args.suite == "hotel" else None,
-        jobs=args.jobs, cache=_cache_from(args),
+    spec = MeasurementSpec(
+        function=args.suite, isa=args.isa, scale=_scale_from(args),
+        seed=args.seed, db=args.db if args.suite == "hotel" else None)
+    measurements = measure(
+        spec, jobs=args.jobs, cache=_cache_from(args),
         progress=lambda message: print(message, file=sys.stderr),
     )
     table = cold_warm_table(
@@ -206,14 +241,50 @@ def cmd_dse(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    """Profile a function's invocation program (report + validation)."""
+    """Capture a traced measurement; print the profile, optionally export.
+
+    The default mode runs the full cold/warm protocol with the tracer
+    attached and prints the per-phase profile table; ``--out`` also
+    writes the capture as Chrome ``trace_event`` JSON for Perfetto.
+    ``--report`` keeps the old behaviour (static instruction-mix report
+    plus program validation, no simulation).
+    """
+    if args.report:
+        return _trace_report(args)
+
+    from repro.core.parallel import execute_task
+    from repro.core.spec import MeasurementSpec
+    from repro.obs import profile_table, write_chrome_trace
+
+    function = _resolve_function(args.function)
+    spec = MeasurementSpec(
+        function=function.name, isa=args.isa, scale=_scale_from(args),
+        seed=args.seed, db=args.db if function.suite == "hotel" else None,
+        trace=True)
+    measurement = execute_task(spec)
+    print("%s on simulated %s (traced, %d requests)" % (
+        function.name, args.isa, len(measurement.records)))
+    print(_format_stats("cold (request 1)", measurement.cold))
+    print(_format_stats("warm (request 10)", measurement.warm))
+    print()
+    print(profile_table(measurement.trace))
+    if args.out:
+        path = write_chrome_trace(measurement.trace, args.out)
+        print()
+        print("chrome trace written to %s (open in https://ui.perfetto.dev)"
+              % path)
+    return 0
+
+
+def _trace_report(args) -> int:
+    """Legacy trace mode: instruction-mix report + program validation."""
     from repro.serverless.engine import install_docker
     from repro.serverless.faas import FaasPlatform
     from repro.sim.isa import get_isa
     from repro.sim.isa.report import report
     from repro.sim.isa.validate import validate_assembled
 
-    function = get_function(args.function)
+    function = _resolve_function(args.function)
     hotel_suite = _hotel_services(args.db) if function.suite == "hotel" else None
     services = _services_for(function, hotel_suite)
     engine = install_docker(args.isa)
@@ -388,12 +459,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_arguments(dse)
     dse.set_defaults(func=cmd_dse)
 
-    trace = sub.add_parser("trace",
-                           help="profile + validate a function's program")
+    trace = sub.add_parser(
+        "trace", help="traced measurement: profile table + Chrome JSON")
     trace.add_argument("function")
-    trace.add_argument("--isa", default="riscv",
-                       choices=["riscv", "x86", "arm"])
+    trace.add_argument("--isa", default="riscv", type=_normalize_isa,
+                       help="riscv/x86/arm (vendor spellings like riscv64, "
+                            "x86_64, aarch64 accepted)")
     trace.add_argument("--db", default="cassandra")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default=None, metavar="TRACE_JSON",
+                       help="write the capture as Chrome trace_event JSON "
+                            "(load in https://ui.perfetto.dev)")
+    trace.add_argument("--report", action="store_true",
+                       help="legacy mode: static instruction-mix report + "
+                            "program validation instead of a traced run")
     _add_scale_arguments(trace)
     trace.set_defaults(func=cmd_trace)
 

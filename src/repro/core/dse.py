@@ -195,10 +195,11 @@ class DesignSpace:
                 points.append(DesignPoint(settings, measurement))
             return SweepResult(function.name, self.isa, points)
 
-        from repro.core.parallel import MeasurementTask, run_measurement_matrix
+        from repro.core.parallel import run_measurement_matrix
+        from repro.core.spec import MeasurementSpec
 
         tasks = [
-            MeasurementTask(function=function.name, isa=self.isa,
+            MeasurementSpec(function=function.name, isa=self.isa,
                             time=self.scale.time, space=self.scale.space,
                             seed=seed, platform=self._platform_for(settings))
             for settings in combos

@@ -22,6 +22,8 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.config import PlatformConfig, platform_for
 from repro.core.scale import BENCH, SimScale
+from repro.obs.attribution import snapshot_delta
+from repro.obs.tracer import TRACK_CACHE, TRACK_INVOCATION, TRACK_TLB
 from repro.serverless.engine import install_docker
 from repro.serverless.faas import FaasPlatform, InvocationRecord
 from repro.sim.checkpoint import Checkpoint, restore_checkpoint, take_checkpoint
@@ -81,8 +83,25 @@ class RequestStats:
         total = self.l1_misses
         return self.l1d_misses / total if total else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
-        return {field: getattr(self, field) for field in self.FIELDS}
+    def as_dict(self, full: bool = False) -> Dict[str, Any]:
+        """The measured counters; ``full=True`` adds the derived CPI and
+        the raw stat dump so :meth:`from_dict` can round-trip losslessly
+        (the result cache and JSON exporters rely on this)."""
+        out: Dict[str, Any] = {field: getattr(self, field)
+                               for field in self.FIELDS}
+        if full:
+            out["cpi"] = self.cpi
+            out["raw_dump"] = dict(self.raw_dump)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RequestStats":
+        """Inverse of ``as_dict(full=True)`` (tolerates the slim form)."""
+        stats = cls.__new__(cls)
+        for field in cls.FIELDS:
+            setattr(stats, field, data[field])
+        stats.raw_dump = dict(data.get("raw_dump", {}))
+        return stats
 
     def __repr__(self) -> str:
         return "RequestStats(cycles=%d, insts=%d, cpi=%.2f)" % (
@@ -101,10 +120,43 @@ class FunctionMeasurement:
         self.warm = warm
         self.records = records
         self.setup_notes = setup_notes or []
+        #: Frozen trace capture (``Tracer.freeze()``) when the
+        #: measurement ran traced; None otherwise.
+        self.trace: Optional[Dict[str, Any]] = None
 
     @property
     def cold_warm_cycle_ratio(self) -> float:
         return self.cold.cycles / self.warm.cycles if self.warm.cycles else 0.0
+
+    def as_dict(self, full: bool = False) -> Dict[str, Any]:
+        """Round-trippable view; ``full=True`` keeps raw dumps, records
+        and the trace capture so :meth:`from_dict` restores everything
+        the tier-1 identity tests compare."""
+        out: Dict[str, Any] = {
+            "function": self.function,
+            "isa": self.isa,
+            "cold": self.cold.as_dict(full=full),
+            "warm": self.warm.as_dict(full=full),
+            "setup_notes": list(self.setup_notes),
+        }
+        if full:
+            out["records"] = [record.as_dict() for record in self.records]
+            out["trace"] = self.trace
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionMeasurement":
+        measurement = cls(
+            function=data["function"],
+            isa=data["isa"],
+            cold=RequestStats.from_dict(data["cold"]),
+            warm=RequestStats.from_dict(data["warm"]),
+            records=[InvocationRecord.from_dict(record)
+                     for record in data.get("records", [])],
+            setup_notes=list(data.get("setup_notes", [])),
+        )
+        measurement.trace = data.get("trace")
+        return measurement
 
     def __repr__(self) -> str:
         return "FunctionMeasurement(%s/%s: cold=%d, warm=%d)" % (
@@ -151,12 +203,18 @@ class ExperimentHarness:
         platform_config: Optional[PlatformConfig] = None,
         setup_cpu: str = "atomic",
         seed: int = 0,
+        tracer=None,
     ):
         self.isa = isa
         self.scale = scale
         self.config = platform_config or platform_for(isa)
         self.setup_cpu = setup_cpu
         self.seed = seed
+        #: Optional :class:`repro.obs.Tracer`.  Attached to the system
+        #: only once measurement starts (after checkpoint restore), so a
+        #: fresh-boot run and a cached-checkpoint run trace the same
+        #: measured region and produce byte-identical captures.
+        self.tracer = tracer
         self.system = SimulatedSystem(
             name="sys",
             isa_name=isa,
@@ -224,6 +282,44 @@ class ExperimentHarness:
     def prepared(self) -> bool:
         return self._boot_checkpoint is not None
 
+    # -- observability --------------------------------------------------------
+
+    def _attach_observability(self):
+        """Wire the tracer and miss profilers in; returns the profilers.
+
+        Called after checkpoint restore (never during setup) so traced
+        runs see exactly the measured region regardless of whether the
+        boot checkpoint came from this harness or the shared cache.
+        """
+        if self.tracer is None:
+            return None
+        self.system.attach_tracer(self.tracer)
+        return self.system.attach_profilers(SERVER_CORE)
+
+    def _emit_request_spans(self, profilers, before, sequence: int,
+                            requests: int, start: int) -> None:
+        """Close out one protocol request: per-unit miss-attribution
+        spans (snapshot deltas) plus the request wrap span."""
+        tracer = self.tracer
+        now = tracer.now
+        dur = now - start if now > start else 1
+        for name, profiler in profilers.items():
+            delta = snapshot_delta(profiler.snapshot(), before[name])
+            if not any(delta.values()):
+                continue
+            is_tlb = name in ("itlb", "dtlb")
+            tracer.complete(name, "tlb" if is_tlb else "cache", start, dur,
+                            TRACK_TLB if is_tlb else TRACK_CACHE,
+                            args=delta)
+        if sequence == 0:
+            phase = "cold"
+        elif sequence == requests - 1:
+            phase = "warm"
+        else:
+            phase = "warming"
+        tracer.complete("request#%d" % (sequence + 1), "protocol", start,
+                        dur, TRACK_INVOCATION, args={"phase": phase})
+
     # -- evaluation mode ----------------------------------------------------------
 
     def measure_function(
@@ -240,11 +336,14 @@ class ExperimentHarness:
             self.prepare(service_stores=self._stores_of(services))
         restore_checkpoint(self.system, self._boot_checkpoint)
         self.system.switch_cpu(SERVER_CORE, "o3")
+        tracer = self.tracer
+        profilers = self._attach_observability()
 
         services = services or {}
-        engine = install_docker(self.isa)
+        engine = install_docker(self.isa, tracer=tracer)
         engine.registry.push(function.image(self.isa))
-        platform = FaasPlatform(engine, server_core=SERVER_CORE)
+        platform = FaasPlatform(engine, server_core=SERVER_CORE,
+                                tracer=tracer)
         platform.deploy(function.name, function.name, function.runtime_name,
                         function.handler, services=services)
 
@@ -252,6 +351,10 @@ class ExperimentHarness:
         cold_stats: Optional[RequestStats] = None
         warm_stats: Optional[RequestStats] = None
         for sequence in range(requests):
+            if tracer is not None:
+                request_start = tracer.now
+                before = {name: profiler.snapshot()
+                          for name, profiler in profilers.items()}
             if payload_factory is not None:
                 payload = payload_factory(sequence)
             else:
@@ -273,7 +376,13 @@ class ExperimentHarness:
                 else:
                     warm_stats = stats
             else:
-                self.system.warm(SERVER_CORE, program, seed=self.seed)
+                warmed = self.system.warm(SERVER_CORE, program, seed=self.seed)
+                if tracer is not None:
+                    # Functional fast-forward: one tick per instruction.
+                    tracer.advance(warmed)
+            if tracer is not None:
+                self._emit_request_spans(profilers, before, sequence,
+                                         requests, request_start)
         assert cold_stats is not None and warm_stats is not None
         return FunctionMeasurement(function.name, self.isa, cold_stats, warm_stats,
                                    records, setup_notes=list(self.setup_notes))
@@ -297,9 +406,12 @@ class ExperimentHarness:
             self.prepare()
         restore_checkpoint(self.system, self._boot_checkpoint)
         self.system.switch_cpu(SERVER_CORE, "o3")
+        tracer = self.tracer
+        profilers = self._attach_observability()
 
-        engine = install_docker(self.isa)
-        platform = FaasPlatform(engine, server_core=SERVER_CORE)
+        engine = install_docker(self.isa, tracer=tracer)
+        platform = FaasPlatform(engine, server_core=SERVER_CORE,
+                                tracer=tracer)
         function = deploy(platform, self.isa)
         services = platform.function(function.name).services
 
@@ -307,6 +419,10 @@ class ExperimentHarness:
         cold_stats: Optional[RequestStats] = None
         warm_stats: Optional[RequestStats] = None
         for sequence in range(requests):
+            if tracer is not None:
+                request_start = tracer.now
+                before = {name: profiler.snapshot()
+                          for name, profiler in profilers.items()}
             if payload_factory is not None:
                 payload = payload_factory(sequence)
             else:
@@ -327,7 +443,12 @@ class ExperimentHarness:
                 else:
                     warm_stats = stats
             else:
-                self.system.warm(SERVER_CORE, program, seed=self.seed)
+                warmed = self.system.warm(SERVER_CORE, program, seed=self.seed)
+                if tracer is not None:
+                    tracer.advance(warmed)
+            if tracer is not None:
+                self._emit_request_spans(profilers, before, sequence,
+                                         requests, request_start)
         assert cold_stats is not None and warm_stats is not None
         return FunctionMeasurement(function.name, self.isa, cold_stats,
                                    warm_stats, records,
@@ -371,7 +492,9 @@ class ExperimentHarness:
                 intruder_record.attach_receipt(name, service.take_receipt())
         intruder_program = intruder.invocation_program(
             intruder_record, intruder_services, self.scale, seed=self.seed)
-        self.system.warm(SERVER_CORE, intruder_program, seed=self.seed)
+        warmed = self.system.warm(SERVER_CORE, intruder_program, seed=self.seed)
+        if self.tracer is not None:
+            self.tracer.advance(warmed)
 
         victim_program = function.invocation_program(
             base.records[-1], services or {}, self.scale, seed=self.seed)

@@ -8,9 +8,10 @@ observation FireSim-scale studies exploit by running many simulator
 instances instead of accelerating one.  This module schedules the matrix
 over a :class:`concurrent.futures.ProcessPoolExecutor`:
 
-* every matrix point is a picklable :class:`MeasurementTask` (names and
-  scalars only — workers rebuild functions, suites and harnesses
-  themselves, so no live simulator object ever crosses a process);
+* every matrix point is a picklable :class:`~repro.core.spec.MeasurementSpec`
+  (names and scalars only — workers rebuild functions, suites and
+  harnesses themselves, so no live simulator object ever crosses a
+  process);
 * results come back in deterministic matrix order, bit-identical to the
   serial path (the serial fallback runs the exact same
   :func:`execute_task` per point);
@@ -26,37 +27,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
-from repro.core.config import PlatformConfig, platform_for
+from repro.core.config import platform_for
 from repro.core.harness import ExperimentHarness, FunctionMeasurement
 from repro.core.rescache import ResultCache, measurement_digest, resolve_cache
-from repro.core.scale import SimScale
+from repro.core.spec import MeasurementSpec
 
-
-@dataclass(frozen=True)
-class MeasurementTask:
-    """One point of the measurement matrix, picklable by construction.
-
-    ``db`` names a datastore for the hotel functions; the executing
-    worker builds a fresh :class:`~repro.workloads.hotel.HotelSuite`
-    around it, so every task sees the same pristine dataset no matter
-    which process (or position in the batch) runs it.
-    """
-
-    function: str
-    isa: str
-    time: int
-    space: int
-    seed: int = 0
-    db: Optional[str] = None
-    requests: int = 10
-    platform: Optional[PlatformConfig] = None
-
-    @property
-    def scale(self) -> SimScale:
-        return SimScale(time=self.time, space=self.space)
+#: Backwards-compatible alias: the matrix point type used to be a
+#: separate dataclass; it is now the unified measurement spec.
+MeasurementTask = MeasurementSpec
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -69,8 +49,8 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return os.cpu_count() or 1
 
 
-def task_digest(task: MeasurementTask) -> str:
-    """Content address of a task for the result cache."""
+def task_digest(task: MeasurementSpec) -> str:
+    """Content address of a spec for the result cache."""
     platform = task.platform or platform_for(task.isa)
     return measurement_digest(
         function=task.function,
@@ -84,13 +64,16 @@ def task_digest(task: MeasurementTask) -> str:
     )
 
 
-def execute_task(task: MeasurementTask) -> FunctionMeasurement:
+def execute_task(task: MeasurementSpec) -> FunctionMeasurement:
     """Measure one matrix point from scratch.
 
     Runs identically in-process and in a pool worker: a fresh harness, a
     fresh suite for database-backed functions, and the process-local boot
     checkpoint cache (boot is deterministic per key, so a worker's cold
-    checkpoint equals the serial path's cached one).
+    checkpoint equals the serial path's cached one).  Traced specs run
+    with a fresh :class:`~repro.obs.Tracer` and return the frozen
+    capture on ``measurement.trace`` — captures are plain dicts, so they
+    cross the process boundary like any other result.
     """
     if task.db:
         from repro.db import make_datastore
@@ -108,10 +91,19 @@ def execute_task(task: MeasurementTask) -> FunctionMeasurement:
 
         function = get_function(task.function)
         services = {}
+    tracer = None
+    if task.trace:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
     harness = ExperimentHarness(isa=task.isa, scale=task.scale,
-                                platform_config=task.platform, seed=task.seed)
-    return harness.measure_function(function, services=services,
-                                    requests=task.requests)
+                                platform_config=task.platform, seed=task.seed,
+                                tracer=tracer)
+    measurement = harness.measure_function(function, services=services,
+                                           requests=task.requests)
+    if tracer is not None:
+        measurement.trace = tracer.freeze()
+    return measurement
 
 
 def _pool_context():
@@ -124,16 +116,18 @@ def _pool_context():
 
 
 def run_measurement_matrix(
-    tasks: Iterable[MeasurementTask],
+    tasks: Iterable[MeasurementSpec],
     jobs: Optional[int] = None,
     cache=None,
 ) -> List[FunctionMeasurement]:
-    """Measure every task, returning results in the tasks' order.
+    """Measure every spec, returning results in the specs' order.
 
     Cache hits are filled in first; only the remaining points are
     simulated, serially for ``jobs <= 1`` and over a process pool
     otherwise.  The output is positionally aligned with ``tasks`` and
-    independent of worker count.
+    independent of worker count.  Traced specs bypass the cache in both
+    directions — a cached measurement carries no capture, and a capture
+    is an artifact of *this* run, not a content-addressed result.
     """
     tasks = list(tasks)
     resolved_cache: Optional[ResultCache] = resolve_cache(cache)
@@ -142,7 +136,7 @@ def run_measurement_matrix(
 
     pending: List[int] = []
     for index, task in enumerate(tasks):
-        if resolved_cache is not None:
+        if resolved_cache is not None and not task.trace:
             digests[index] = task_digest(task)
             hit = resolved_cache.get(digests[index])
             if hit is not None:
@@ -163,7 +157,7 @@ def run_measurement_matrix(
                                       [tasks[index] for index in pending]))
         for index, measurement in zip(pending, fresh):
             results[index] = measurement
-            if resolved_cache is not None:
+            if resolved_cache is not None and digests[index] is not None:
                 resolved_cache.put(digests[index], measurement)
 
     return results  # type: ignore[return-value]

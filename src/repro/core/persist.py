@@ -19,22 +19,19 @@ FORMAT_VERSION = 1
 
 def stats_to_dict(stats: RequestStats) -> Dict[str, Any]:
     """JSON-ready view of one request's counters (CPI included)."""
-    payload = stats.as_dict()
-    payload["cpi"] = stats.cpi
+    payload = stats.as_dict(full=True)
+    payload.pop("raw_dump", None)
     return payload
 
 
 def measurement_to_dict(measurement: FunctionMeasurement) -> Dict[str, Any]:
     """A JSON-ready snapshot of one function's cold+warm measurement."""
-    return {
-        "function": measurement.function,
-        "isa": measurement.isa,
-        "cold": stats_to_dict(measurement.cold),
-        "warm": stats_to_dict(measurement.warm),
-        "cold_warm_cycle_ratio": measurement.cold_warm_cycle_ratio,
-        "requests": len(measurement.records),
-        "setup_notes": list(measurement.setup_notes),
-    }
+    payload = measurement.as_dict()
+    payload["cold"] = stats_to_dict(measurement.cold)
+    payload["warm"] = stats_to_dict(measurement.warm)
+    payload["cold_warm_cycle_ratio"] = measurement.cold_warm_cycle_ratio
+    payload["requests"] = len(measurement.records)
+    return payload
 
 
 def save_measurements(

@@ -8,13 +8,119 @@ that want the data without pytest.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.harness import ExperimentHarness, FunctionMeasurement
-from repro.core.parallel import MeasurementTask, run_measurement_matrix
+from repro.core.parallel import run_measurement_matrix
 from repro.core.results import cold_warm_table, isa_comparison_table
 from repro.core.scale import BENCH, SimScale
+from repro.core.spec import MeasurementSpec
+
+#: ``MeasurementSpec.function`` values naming a whole batch instead of a
+#: single catalog function.
+SUITE_ALIASES = ("standalone", "onlineshop", "standalone+shop", "hotel")
+
+
+def _expand_spec(spec: MeasurementSpec,
+                 functions: Optional[Iterable] = None) -> List[MeasurementSpec]:
+    """One spec per matrix point: suite aliases fan out, ``db`` lands on
+    hotel functions only (``spec.db`` or cassandra), everything else is
+    copied from the prototype spec."""
+    from repro.workloads.catalog import (
+        HOTEL_FUNCTIONS,
+        ONLINESHOP_FUNCTIONS,
+        STANDALONE_FUNCTIONS,
+    )
+
+    hotel_names = {fn.name for fn in HOTEL_FUNCTIONS}
+    if functions is not None:
+        names = [getattr(fn, "name", fn) for fn in functions]
+    else:
+        target = spec.function
+        if target == "standalone":
+            names = [fn.name for fn in STANDALONE_FUNCTIONS]
+        elif target == "onlineshop":
+            names = [fn.name for fn in ONLINESHOP_FUNCTIONS]
+        elif target == "standalone+shop":
+            names = [fn.name for fn in
+                     STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS]
+        elif target == "hotel":
+            names = [fn.name for fn in HOTEL_FUNCTIONS]
+        else:
+            names = [target]
+    specs = []
+    for name in names:
+        db = (spec.db or "cassandra") if name in hotel_names else None
+        specs.append(spec.replace(function=name, db=db))
+    return specs
+
+
+def measure(
+    spec: MeasurementSpec,
+    *,
+    jobs: Optional[int] = None,
+    cache=None,
+    progress=None,
+    functions: Optional[Iterable] = None,
+    services_for=None,
+) -> Dict[str, FunctionMeasurement]:
+    """The one measurement entry point: run the protocol for a spec.
+
+    ``spec.function`` may name a single catalog function or one of
+    :data:`SUITE_ALIASES` (``"standalone"``, ``"onlineshop"``,
+    ``"standalone+shop"``, ``"hotel"``); either way the result is a dict
+    of measurements keyed by function name.  Hotel functions get
+    ``spec.db`` (default cassandra) and build their own pristine suite
+    per point; other functions never see a database.  Batches are
+    scheduled through :mod:`repro.core.parallel` — cache hits skip
+    simulation, the rest fans out over ``jobs`` workers in deterministic
+    matrix order, and traced specs come back with ``measurement.trace``
+    set.
+
+    ``functions`` (an iterable of function objects or names) overrides
+    the spec's fan-out.  ``services_for`` (legacy) binds arbitrary live
+    service objects and forces the in-process serial path, since live
+    services cannot cross a process boundary.
+    """
+    if services_for is not None:
+        if functions is None:
+            raise ValueError("services_for needs explicit function objects")
+        measurements: Dict[str, FunctionMeasurement] = {}
+        for function in functions:
+            tracer = None
+            if spec.trace:
+                from repro.obs.tracer import Tracer
+
+                tracer = Tracer()
+            harness = ExperimentHarness(isa=spec.isa, scale=spec.scale,
+                                        platform_config=spec.platform,
+                                        seed=spec.seed, tracer=tracer)
+            measurement = harness.measure_function(
+                function, services=services_for(function),
+                requests=spec.requests)
+            if tracer is not None:
+                measurement.trace = tracer.freeze()
+            measurements[function.name] = measurement
+            if progress is not None:
+                progress("measured %s on %s" % (function.name, spec.isa))
+        return measurements
+
+    specs = _expand_spec(spec, functions)
+    measured = run_measurement_matrix(specs, jobs=jobs, cache=cache)
+    measurements = {}
+    for point, measurement in zip(specs, measured):
+        measurements[point.function] = measurement
+        if progress is not None:
+            progress("measured %s on %s" % (point.function, point.isa))
+    return measurements
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        "%s() is deprecated; build a MeasurementSpec and call measure()"
+        % old, DeprecationWarning, stacklevel=3)
 
 
 def measure_functions(
@@ -29,68 +135,36 @@ def measure_functions(
     cache=None,
     requests: int = 10,
 ) -> Dict[str, FunctionMeasurement]:
-    """Run the 10-request protocol for a batch of functions on one ISA.
-
-    The batch is scheduled through :mod:`repro.core.parallel` — cache
-    hits skip simulation, the rest fans out over ``jobs`` workers
-    (``REPRO_JOBS`` by default) in deterministic matrix order.  Database
-    backed functions are named via ``db``; each task then builds its own
-    pristine :class:`~repro.workloads.hotel.HotelSuite` so results do
-    not depend on batch position or worker assignment.
-
-    ``services_for`` (legacy) binds arbitrary live service objects and
-    forces the in-process serial path, since live services cannot cross
-    a process boundary.
-    """
+    """Deprecated shim: forwards to :func:`measure` with an explicit
+    function list (old signature preserved)."""
+    _deprecated("measure_functions")
     functions = list(functions)
-    if services_for is not None:
-        measurements: Dict[str, FunctionMeasurement] = {}
-        for function in functions:
-            harness = ExperimentHarness(isa=isa, scale=scale, seed=seed)
-            measurements[function.name] = harness.measure_function(
-                function, services=services_for(function), requests=requests)
-            if progress is not None:
-                progress("measured %s on %s" % (function.name, isa))
-        return measurements
-
-    tasks = [
-        MeasurementTask(function=function.name, isa=isa, time=scale.time,
-                        space=scale.space, seed=seed, db=db, requests=requests)
-        for function in functions
-    ]
-    measured = run_measurement_matrix(tasks, jobs=jobs, cache=cache)
-    measurements = {}
-    for function, measurement in zip(functions, measured):
-        measurements[function.name] = measurement
-        if progress is not None:
-            progress("measured %s on %s" % (function.name, isa))
-    return measurements
+    spec = MeasurementSpec(function="standalone", isa=isa, scale=scale,
+                           seed=seed, db=db, requests=requests)
+    return measure(spec, jobs=jobs, cache=cache, progress=progress,
+                   functions=functions, services_for=services_for)
 
 
 def measure_standalone_shop(isa: str, scale: SimScale = BENCH, seed: int = 0,
                             progress=None, jobs: Optional[int] = None,
                             cache=None) -> Dict[str, FunctionMeasurement]:
-    """The Fig 4.4/4.12/4.15-4.18 batch: standalone + online shop."""
-    from repro.workloads.catalog import ONLINESHOP_FUNCTIONS, STANDALONE_FUNCTIONS
-
-    return measure_functions(STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS,
-                             isa, scale, seed=seed, progress=progress,
-                             jobs=jobs, cache=cache)
+    """Deprecated shim for the Fig 4.4/4.12/4.15-4.18 batch: forwards to
+    :func:`measure` with the ``standalone+shop`` suite alias."""
+    _deprecated("measure_standalone_shop")
+    spec = MeasurementSpec(function="standalone+shop", isa=isa, scale=scale,
+                           seed=seed)
+    return measure(spec, jobs=jobs, cache=cache, progress=progress)
 
 
 def measure_hotel(isa: str, scale: SimScale = BENCH, db: str = "cassandra",
                   seed: int = 0, progress=None, jobs: Optional[int] = None,
                   cache=None) -> Dict[str, FunctionMeasurement]:
-    """The Fig 4.5/4.14/4.19 batch: the hotel suite over a database.
-
-    Every function is measured against its own freshly seeded suite (the
-    dataset is deterministic), so the batch parallelises and caches per
-    function.
-    """
-    from repro.workloads.hotel import make_hotel_functions
-
-    return measure_functions(make_hotel_functions(), isa, scale, seed=seed,
-                             progress=progress, db=db, jobs=jobs, cache=cache)
+    """Deprecated shim for the Fig 4.5/4.14/4.19 batch: forwards to
+    :func:`measure` with the ``hotel`` suite alias."""
+    _deprecated("measure_hotel")
+    spec = MeasurementSpec(function="hotel", isa=isa, scale=scale, seed=seed,
+                           db=db)
+    return measure(spec, jobs=jobs, cache=cache, progress=progress)
 
 
 def qemu_database_comparison(progress=None) -> Dict[Tuple[str, str], Tuple[float, float]]:
@@ -155,15 +229,16 @@ def reproduce_all(
     order = [fn.name for fn in STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS]
     hotel_order = [fn.name for fn in HOTEL_FUNCTIONS]
 
+    def batch(function: str, isa: str, batch_db: Optional[str] = None):
+        spec = MeasurementSpec(function=function, isa=isa, scale=scale,
+                               seed=seed, db=batch_db)
+        return measure(spec, jobs=jobs, cache=cache, progress=progress)
+
     batches: Dict[str, Any] = {
-        "riscv_standalone_shop": measure_standalone_shop(
-            "riscv", scale, seed, progress, jobs=jobs, cache=cache),
-        "x86_standalone_shop": measure_standalone_shop(
-            "x86", scale, seed, progress, jobs=jobs, cache=cache),
-        "riscv_hotel": measure_hotel("riscv", scale, db, seed, progress,
-                                     jobs=jobs, cache=cache),
-        "x86_hotel": measure_hotel("x86", scale, db, seed, progress,
-                                   jobs=jobs, cache=cache),
+        "riscv_standalone_shop": batch("standalone+shop", "riscv"),
+        "x86_standalone_shop": batch("standalone+shop", "x86"),
+        "riscv_hotel": batch("hotel", "riscv", db),
+        "x86_hotel": batch("hotel", "x86", db),
         "qemu_db_comparison": qemu_database_comparison(progress),
     }
 

@@ -28,7 +28,11 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-FORMAT_VERSION = 1
+#: Version 2 stores measurements as their ``as_dict(full=True)`` payload
+#: (kind ``"measurement"``) instead of pickling live objects, so cached
+#: entries survive attribute-level refactors of the measurement classes;
+#: arbitrary payloads pass through untouched (kind ``"raw"``).
+FORMAT_VERSION = 2
 
 #: Code-version salt: bump whenever a change alters what any measurement
 #: would produce (simulator timing, workload models, trace generation),
@@ -127,16 +131,43 @@ class ResultCache:
         if not isinstance(entry, dict) or entry.get("version") != FORMAT_VERSION:
             self.misses += 1
             return None
+        try:
+            value = self._decode(entry["payload"])
+        except Exception:
+            self.misses += 1
+            return None
         self.hits += 1
-        return entry["measurement"]
+        return value
+
+    @staticmethod
+    def _encode(measurement) -> Dict[str, Any]:
+        from repro.core.harness import FunctionMeasurement
+
+        if isinstance(measurement, FunctionMeasurement):
+            return {"kind": "measurement",
+                    "data": measurement.as_dict(full=True)}
+        return {"kind": "raw", "data": measurement}
+
+    @staticmethod
+    def _decode(payload: Dict[str, Any]):
+        if payload["kind"] == "measurement":
+            from repro.core.harness import FunctionMeasurement
+
+            return FunctionMeasurement.from_dict(payload["data"])
+        return payload["data"]
 
     def put(self, digest: str, measurement) -> bool:
-        """Store a measurement; returns False if the cache is unusable."""
+        """Store a measurement; returns False if the cache is unusable.
+
+        :class:`~repro.core.harness.FunctionMeasurement` instances go
+        through the ``as_dict(full=True)`` / ``from_dict`` round-trip;
+        anything else is stored verbatim.
+        """
         if not self._ensure_root():
             return False
         path = self._path_for(digest)
         entry = {"version": FORMAT_VERSION, "digest": digest,
-                 "measurement": measurement}
+                 "payload": self._encode(measurement)}
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         try:
             with open(tmp, "wb") as handle:

@@ -22,23 +22,28 @@ SMOKE_SCHEMA = "repro-bench-smoke/1"
 def run_smoke(jobs: Optional[int] = None, cache=False) -> Dict[str, Any]:
     """Run the pinned smoke batch; returns the JSON-ready report."""
     from repro.core.parallel import resolve_jobs
-    from repro.core.reproduce import measure_hotel, measure_standalone_shop
+    from repro.core.reproduce import measure
     from repro.core.scale import TEST
+    from repro.core.spec import MeasurementSpec
 
     resolved_jobs = resolve_jobs(jobs)
     batches: Dict[str, Dict[str, Any]] = {}
 
     start_total = time.perf_counter()
     start = time.perf_counter()
-    standalone = measure_standalone_shop("riscv", TEST, seed=0, jobs=jobs,
-                                         cache=cache)
+    standalone = measure(
+        MeasurementSpec(function="standalone+shop", isa="riscv", scale=TEST,
+                        seed=0),
+        jobs=jobs, cache=cache)
     batches["riscv_standalone_shop"] = {
         "functions": len(standalone),
         "wall_s": round(time.perf_counter() - start, 3),
     }
     start = time.perf_counter()
-    hotel = measure_hotel("riscv", TEST, db="cassandra", seed=0, jobs=jobs,
-                          cache=cache)
+    hotel = measure(
+        MeasurementSpec(function="hotel", isa="riscv", scale=TEST, seed=0,
+                        db="cassandra"),
+        jobs=jobs, cache=cache)
     batches["riscv_hotel"] = {
         "functions": len(hotel),
         "wall_s": round(time.perf_counter() - start, 3),

@@ -1,0 +1,148 @@
+"""The unified measurement spec: one keyword-only type for every entry point.
+
+Historically the repo grew three divergent measurement signatures
+(``measure_functions`` / ``measure_hotel`` / ``measure_standalone_shop``)
+plus a separate task type for the parallel engine, each spelling the same
+(function, isa, scale, seed, db, requests) tuple slightly differently.
+:class:`MeasurementSpec` collapses them: the CLI, the parallel engine,
+the design-space explorer and the result-cache keying all consume this
+one type, and :func:`repro.core.reproduce.measure` dispatches on it.
+
+The class is deliberately *not* a ``dataclass``: CI runs Python 3.9,
+which lacks ``dataclass(kw_only=True)``, so keyword-only construction is
+hand-rolled.  Instances are immutable (use :meth:`replace`), hashable,
+and picklable — they cross process boundaries in
+:func:`repro.core.parallel.run_measurement_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.scale import BENCH, SimScale
+
+_FIELDS = ("function", "isa", "time", "space", "seed", "db", "requests",
+           "platform", "trace")
+
+
+class MeasurementSpec:
+    """One point of the measurement matrix, keyword-only and immutable.
+
+    ``function``
+        Catalog name of the vSwarm function (objects with a ``.name``
+        attribute are accepted and reduced to their name, so specs stay
+        picklable by construction).
+    ``isa``
+        Platform ISA (``riscv`` / ``x86`` / ``arm``).
+    ``scale`` or ``time``/``space``
+        The scaled-machine divisors, either as a
+        :class:`~repro.core.scale.SimScale` or as the two integers;
+        defaults to :data:`~repro.core.scale.BENCH`.
+    ``db``
+        Datastore name for hotel functions (the worker builds a fresh
+        :class:`~repro.workloads.hotel.HotelSuite` around it).
+    ``platform``
+        Optional :class:`~repro.core.config.PlatformConfig` override
+        (design-space exploration); ``None`` means the canonical
+        platform for ``isa``.
+    ``trace``
+        When true, the measurement runs with a
+        :class:`~repro.obs.Tracer` attached and the result carries a
+        frozen trace capture (``measurement.trace``).  Traced specs
+        bypass the result cache: a cached measurement has no capture.
+    """
+
+    __slots__ = _FIELDS
+
+    def __init__(self, *, function, isa: str = "riscv",
+                 scale: Optional[SimScale] = None,
+                 time: Optional[int] = None, space: Optional[int] = None,
+                 seed: int = 0, db: Optional[str] = None, requests: int = 10,
+                 platform=None, trace: bool = False):
+        if scale is not None and (time is not None or space is not None):
+            raise TypeError("pass scale= or time=/space=, not both")
+        if scale is None:
+            scale = SimScale(time=BENCH.time if time is None else time,
+                             space=BENCH.space if space is None else space)
+        name = getattr(function, "name", function)
+        if not isinstance(name, str):
+            raise TypeError("function must be a catalog name or carry "
+                            ".name, got %r" % (function,))
+        if requests < 1:
+            raise ValueError("requests must be >= 1, got %d" % requests)
+        set_field = object.__setattr__
+        set_field(self, "function", name)
+        set_field(self, "isa", isa)
+        set_field(self, "time", scale.time)
+        set_field(self, "space", scale.space)
+        set_field(self, "seed", seed)
+        set_field(self, "db", db)
+        set_field(self, "requests", requests)
+        set_field(self, "platform", platform)
+        set_field(self, "trace", bool(trace))
+
+    # -- immutability ------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("MeasurementSpec is immutable; use .replace()")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("MeasurementSpec is immutable; use .replace()")
+
+    def replace(self, **changes) -> "MeasurementSpec":
+        """A copy with the given fields swapped (dataclasses.replace style)."""
+        fields: Dict[str, Any] = {name: getattr(self, name)
+                                  for name in _FIELDS}
+        if "scale" in changes:
+            scale = changes.pop("scale")
+            changes.setdefault("time", scale.time)
+            changes.setdefault("space", scale.space)
+        unknown = set(changes) - set(_FIELDS)
+        if unknown:
+            raise TypeError("unknown spec fields: %s" % sorted(unknown))
+        fields.update(changes)
+        return MeasurementSpec(**fields)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def scale(self) -> SimScale:
+        return SimScale(time=self.time, space=self.space)
+
+    def _identity(self) -> tuple:
+        platform = self.platform
+        fingerprint = platform.fingerprint() if platform is not None else None
+        return (self.function, self.isa, self.time, self.space, self.seed,
+                self.db, self.requests, fingerprint, self.trace)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MeasurementSpec):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+    def __repr__(self) -> str:
+        parts = ["function=%r" % self.function, "isa=%r" % self.isa,
+                 "time=%d" % self.time, "space=%d" % self.space]
+        if self.seed:
+            parts.append("seed=%d" % self.seed)
+        if self.db:
+            parts.append("db=%r" % self.db)
+        if self.requests != 10:
+            parts.append("requests=%d" % self.requests)
+        if self.platform is not None:
+            parts.append("platform=%r" % self.platform)
+        if self.trace:
+            parts.append("trace=True")
+        return "MeasurementSpec(%s)" % ", ".join(parts)
+
+    # -- pickling (slots, no __dict__) -------------------------------------
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def __setstate__(self, state):
+        for name in _FIELDS:
+            object.__setattr__(self, name, state[name])

@@ -51,6 +51,13 @@ class WorkReceipt:
     def as_dict(self) -> Dict[str, int]:
         return {field: getattr(self, field) for field in self.FIELDS}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "WorkReceipt":
+        receipt = cls()
+        for field in cls.FIELDS:
+            setattr(receipt, field, data.get(field, 0))
+        return receipt
+
     def __repr__(self) -> str:
         busy = ", ".join(
             "%s=%d" % (field, getattr(self, field))

@@ -1,0 +1,73 @@
+"""repro.obs — the unified observability layer.
+
+A low-overhead span/event tracer (:class:`Tracer`) stamped from
+deterministic logical ticks, miss-cause attribution via shadow
+fully-associative filters (:class:`CacheProfiler`, :class:`TlbProfiler`),
+and exporters for Chrome ``trace_event`` JSON (Perfetto-loadable) plus a
+flat per-phase profile table.
+
+Instrumentation hooks live in the simulator (event queue dispatch, the
+O3 pipeline's fetch/dispatch/issue/commit phases, cache and TLB misses)
+and the serverless stack (invocation lifecycle, container engine state
+transitions); every hook is a no-op when no tracer is attached.  Entry
+points:
+
+* ``ExperimentHarness(..., tracer=Tracer())`` — trace a measurement;
+* ``MeasurementSpec(..., trace=True)`` — capture traces through the
+  parallel measurement engine (one capture per task);
+* ``python -m repro trace <function> --isa <isa> --out trace.json``.
+"""
+
+from repro.obs.attribution import (
+    CacheProfiler,
+    MissClassifier,
+    TlbProfiler,
+    snapshot_delta,
+)
+from repro.obs.export import (
+    chrome_trace,
+    dumps_chrome_trace,
+    profile_table,
+    write_chrome_trace,
+)
+from repro.obs.tracer import (
+    CAPTURE_SCHEMA,
+    TRACK_CACHE,
+    TRACK_COMMIT,
+    TRACK_DISPATCH,
+    TRACK_ENGINE,
+    TRACK_EVENTQ,
+    TRACK_FETCH,
+    TRACK_INVOCATION,
+    TRACK_ISSUE,
+    TRACK_NAMES,
+    TRACK_PIPELINE,
+    TRACK_TLB,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "CAPTURE_SCHEMA",
+    "CacheProfiler",
+    "MissClassifier",
+    "Span",
+    "TlbProfiler",
+    "TRACK_CACHE",
+    "TRACK_COMMIT",
+    "TRACK_DISPATCH",
+    "TRACK_ENGINE",
+    "TRACK_EVENTQ",
+    "TRACK_FETCH",
+    "TRACK_INVOCATION",
+    "TRACK_ISSUE",
+    "TRACK_NAMES",
+    "TRACK_PIPELINE",
+    "TRACK_TLB",
+    "Tracer",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "profile_table",
+    "snapshot_delta",
+    "write_chrome_trace",
+]

@@ -1,0 +1,152 @@
+"""Miss-cause attribution: cold / capacity / conflict, per cache.
+
+The classic Hill taxonomy, implemented with a *shadow fully-associative
+filter* per cache:
+
+* **cold** — the line has never been referenced before (tracked by a
+  first-touch set);
+* **conflict** — the miss would have been a hit in a fully-associative
+  cache of the same total capacity (the shadow LRU still holds the
+  line), so set-index contention — not capacity — evicted it;
+* **capacity** — the fully-associative shadow evicted it too: the
+  working set simply exceeds the cache.
+
+The shadow filter observes the demand stream through the cache's
+profiler hooks (hits refresh recency, misses classify-then-insert).
+Profilers are plain counters — they never touch the tracer clock or
+record events themselves — so attaching them cannot perturb trace
+timestamps; the harness snapshots them around each measured request and
+emits the deltas as cache spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class MissClassifier:
+    """Shadow fully-associative LRU filter for one cache's line stream."""
+
+    __slots__ = ("capacity", "_seen", "_lru", "cold", "capacity_misses",
+                 "conflict")
+
+    def __init__(self, capacity_lines: int):
+        if capacity_lines < 1:
+            raise ValueError("shadow filter needs at least one line")
+        self.capacity = capacity_lines
+        self._seen: Set[int] = set()
+        self._lru: Dict[int, None] = {}  # insertion order == recency order
+        self.cold = 0
+        self.capacity_misses = 0
+        self.conflict = 0
+
+    def on_hit(self, line: int) -> None:
+        """A demand hit in the real cache: refresh shadow recency."""
+        lru = self._lru
+        if line in lru:
+            del lru[line]
+        elif len(lru) >= self.capacity:
+            # Resident in the real cache but already shadow-evicted:
+            # re-admitting it must not push the shadow over capacity.
+            del lru[next(iter(lru))]
+        lru[line] = None
+
+    def on_miss(self, line: int) -> str:
+        """Classify a demand miss; returns 'cold'/'conflict'/'capacity'."""
+        lru = self._lru
+        if line not in self._seen:
+            self._seen.add(line)
+            cause = "cold"
+            self.cold += 1
+        elif line in lru:
+            del lru[line]
+            cause = "conflict"
+            self.conflict += 1
+        else:
+            cause = "capacity"
+            self.capacity_misses += 1
+        if len(lru) >= self.capacity:
+            del lru[next(iter(lru))]
+        lru[line] = None
+        return cause
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cold": self.cold,
+            "capacity": self.capacity_misses,
+            "conflict": self.conflict,
+        }
+
+    def __repr__(self) -> str:
+        return "MissClassifier(cap=%d, cold=%d, capacity=%d, conflict=%d)" % (
+            self.capacity, self.cold, self.capacity_misses, self.conflict,
+        )
+
+
+class CacheProfiler:
+    """Per-cache profiling state hung off ``Cache.profiler``.
+
+    The cache's access path calls :meth:`on_hit` / :meth:`on_miss` only
+    when a profiler is attached; counters here are cumulative and the
+    harness reads request-level deltas via :meth:`snapshot`.
+    """
+
+    __slots__ = ("name", "classifier", "demand_hits", "demand_misses")
+
+    def __init__(self, name: str, capacity_lines: int):
+        self.name = name
+        self.classifier = MissClassifier(capacity_lines)
+        self.demand_hits = 0
+        self.demand_misses = 0
+
+    @classmethod
+    def for_cache(cls, cache) -> "CacheProfiler":
+        """Build a profiler shaped to a :class:`repro.sim.mem.cache.Cache`."""
+        return cls(cache.name, cache.num_sets * cache.assoc)
+
+    def on_hit(self, line: int) -> None:
+        self.demand_hits += 1
+        self.classifier.on_hit(line)
+
+    def on_miss(self, line: int) -> str:
+        self.demand_misses += 1
+        return self.classifier.on_miss(line)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Cumulative counters (cause breakdown included)."""
+        out = {"hits": self.demand_hits, "misses": self.demand_misses}
+        out.update(self.classifier.as_dict())
+        return out
+
+    def __repr__(self) -> str:
+        return "CacheProfiler(%s: %d misses)" % (self.name, self.demand_misses)
+
+
+class TlbProfiler:
+    """Per-TLB profiling state hung off ``Tlb.profiler``."""
+
+    __slots__ = ("name", "misses", "walks")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.misses = 0
+        self.walks = 0
+
+    def on_miss(self, page: int) -> None:
+        self.misses += 1
+
+    def on_walk(self, directory: int) -> None:
+        self.walks += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"misses": self.misses, "walks": self.walks}
+
+    def __repr__(self) -> str:
+        return "TlbProfiler(%s: %d misses, %d walks)" % (
+            self.name, self.misses, self.walks,
+        )
+
+
+def snapshot_delta(now: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Per-request view: counter movement between two snapshots."""
+    return {key: now[key] - before.get(key, 0) for key in now}

@@ -1,0 +1,122 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a flat profile table.
+
+The Chrome format (the JSON array flavour with ``traceEvents``) loads
+directly in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+Serialization is canonical — sorted keys, fixed separators, a trailing
+newline — so two identical captures serialize to byte-identical files;
+the determinism tests compare raw bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.tracer import TRACK_NAMES, Tracer
+
+#: Chrome trace pid for everything we emit (single simulated process).
+TRACE_PID = 1
+
+
+def _capture_of(trace) -> Dict[str, Any]:
+    """Accept a live :class:`Tracer` or an already-frozen capture dict."""
+    if isinstance(trace, Tracer):
+        return trace.freeze()
+    if isinstance(trace, dict) and "events" in trace:
+        return trace
+    raise TypeError("expected a Tracer or a frozen capture, got %r"
+                    % type(trace).__name__)
+
+
+def chrome_trace(trace, process_name: str = "repro-sim") -> Dict[str, Any]:
+    """Render a capture as a Chrome ``trace_event`` document (a dict)."""
+    capture = _capture_of(trace)
+    events: List[Dict[str, Any]] = [{
+        "args": {"name": process_name},
+        "name": "process_name",
+        "ph": "M",
+        "pid": TRACE_PID,
+        "tid": 0,
+        "ts": 0,
+    }]
+    used_tracks = sorted({event[3] for event in capture["events"]})
+    for track in used_tracks:
+        events.append({
+            "args": {"name": TRACK_NAMES.get(track, "track%d" % track)},
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": track,
+            "ts": 0,
+        })
+    for ph, name, cat, track, ts, dur, args in capture["events"]:
+        entry: Dict[str, Any] = {
+            "cat": cat,
+            "name": name,
+            "ph": ph,
+            "pid": TRACE_PID,
+            "tid": track,
+            "ts": ts,
+        }
+        if ph == "X":
+            entry["dur"] = dur
+        elif ph == "I":
+            entry["s"] = "t"
+        if args:
+            entry["args"] = args
+        events.append(entry)
+    return {
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": capture["clock"],
+            "counters": capture["counters"],
+            "schema": capture["schema"],
+        },
+        "traceEvents": events,
+    }
+
+
+def dumps_chrome_trace(trace, process_name: str = "repro-sim") -> str:
+    """Canonical (byte-deterministic) serialization of a capture."""
+    document = chrome_trace(trace, process_name=process_name)
+    return json.dumps(document, indent=1, sort_keys=True,
+                      separators=(",", ": ")) + "\n"
+
+
+def write_chrome_trace(trace, path, process_name: str = "repro-sim") -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dumps_chrome_trace(trace, process_name=process_name))
+    return target
+
+
+def profile_table(trace) -> str:
+    """Flat per-phase profile: span ticks aggregated by (category, name).
+
+    Complete spans with the same category and name merge into one row
+    (count, total ticks, share of the capture's clock).  Rows order by
+    category then descending ticks, so the expensive phases lead.
+    """
+    capture = _capture_of(trace)
+    totals: Dict[Tuple[str, str], List[int]] = {}
+    for ph, name, cat, _track, _ts, dur, _args in capture["events"]:
+        if ph != "X":
+            continue
+        row = totals.setdefault((cat, name), [0, 0])
+        row[0] += 1
+        row[1] += dur
+    clock = capture["clock"] or 1
+    lines = ["%-14s %-38s %7s %12s %7s" % ("category", "phase", "count",
+                                           "ticks", "share")]
+    ordered = sorted(totals.items(), key=lambda item: (item[0][0],
+                                                       -item[1][1],
+                                                       item[0][1]))
+    for (cat, name), (count, ticks) in ordered:
+        lines.append("%-14s %-38s %7d %12d %6.1f%%" % (
+            cat, name[:38], count, ticks, 100.0 * ticks / clock))
+    if len(lines) == 1:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)

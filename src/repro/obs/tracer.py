@@ -1,0 +1,177 @@
+"""Low-overhead span/event tracer for the simulator and serverless stack.
+
+The observability layer answers *where the cycles go* inside a cold
+start — fetch stalls, L2 cold misses, container boot — the per-phase
+visibility the thesis's end-of-run aggregates cannot give.  Design
+constraints, in order:
+
+1. **No-op when disabled.**  Components hold a ``tracer``/``profiler``
+   attribute that defaults to ``None``; every hook site guards with an
+   ``is not None`` check (the O3 core goes further and runs a separate,
+   untouched fast loop).  With tracing off, no span objects, no event
+   tuples, no allocations happen — asserted by the tier-1 suite via
+   :data:`EVENTS_RECORDED` deltas.
+2. **Deterministic timestamps.**  Spans are stamped from a *logical tick
+   clock* owned by the tracer and advanced only by deterministic
+   quantities — simulated cycles, functional instruction counts, fixed
+   container-engine operation costs — never wall clock.  Two runs of the
+   same configuration therefore produce byte-identical trace files.
+3. **Cheap to record.**  Events are appended as plain tuples; rendering
+   to Chrome ``trace_event`` JSON or a profile table happens once, at
+   export time (:mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Track (Chrome ``tid``) assignment: one lane per subsystem/phase so
+#: spans that overlap in time render side by side instead of nesting.
+TRACK_INVOCATION = 1
+TRACK_ENGINE = 2
+TRACK_PIPELINE = 3
+TRACK_FETCH = 4
+TRACK_DISPATCH = 5
+TRACK_ISSUE = 6
+TRACK_COMMIT = 7
+TRACK_CACHE = 8
+TRACK_TLB = 9
+TRACK_EVENTQ = 10
+
+#: Human names for the tracks, emitted as ``thread_name`` metadata.
+TRACK_NAMES = {
+    TRACK_INVOCATION: "invocation",
+    TRACK_ENGINE: "container-engine",
+    TRACK_PIPELINE: "pipeline",
+    TRACK_FETCH: "pipeline/fetch",
+    TRACK_DISPATCH: "pipeline/dispatch",
+    TRACK_ISSUE: "pipeline/issue",
+    TRACK_COMMIT: "pipeline/commit",
+    TRACK_CACHE: "cache",
+    TRACK_TLB: "tlb",
+    TRACK_EVENTQ: "eventq",
+}
+
+#: Module-global count of events ever recorded by any tracer.  The
+#: zero-overhead regression test measures a tracing-disabled run and
+#: asserts this counter does not move — proof the fast path allocated
+#: and recorded nothing.
+EVENTS_RECORDED = 0
+
+#: The trace-capture schema version (stored in frozen captures).
+CAPTURE_SCHEMA = "repro-trace/1"
+
+
+class Span:
+    """A named interval on one track, in logical ticks.
+
+    Returned by :meth:`Tracer.span`; closed spans are stored as plain
+    tuples, so this object only lives while the region is open.
+    """
+
+    __slots__ = ("name", "cat", "track", "ts", "args")
+
+    def __init__(self, name: str, cat: str, track: int, ts: int,
+                 args: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.ts = ts
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "Span(%s/%s @ %d)" % (self.cat, self.name, self.ts)
+
+
+class Tracer:
+    """Collects spans, instants and counter samples on a logical clock.
+
+    Event storage is a list of tuples ``(ph, name, cat, track, ts, dur,
+    args)`` where ``ph`` follows the Chrome trace_event phase letters:
+    ``"X"`` complete span, ``"I"`` instant, ``"C"`` counter sample.
+    """
+
+    __slots__ = ("events", "counters", "_now")
+
+    def __init__(self):
+        self.events: List[Tuple] = []
+        self.counters: Dict[str, float] = {}
+        self._now = 0
+
+    # -- the logical clock -------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current logical tick (monotone, deterministic)."""
+        return self._now
+
+    def advance(self, ticks: int) -> int:
+        """Move the clock forward by a deterministic tick count."""
+        if ticks < 0:
+            raise ValueError("cannot advance the clock backwards: %d" % ticks)
+        self._now += ticks
+        return self._now
+
+    # -- event recording ---------------------------------------------------
+
+    def _record(self, event: Tuple) -> None:
+        global EVENTS_RECORDED
+        EVENTS_RECORDED += 1
+        self.events.append(event)
+
+    def complete(self, name: str, cat: str, ts: int, dur: int,
+                 track: int = TRACK_INVOCATION,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a closed span [ts, ts+dur) on ``track``."""
+        self._record(("X", name, cat, track, ts, dur, args))
+
+    def instant(self, name: str, cat: str, ts: int,
+                track: int = TRACK_INVOCATION,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a point event at ``ts``."""
+        self._record(("I", name, cat, track, ts, 0, args))
+
+    def counter(self, name: str, ts: int, values: Dict[str, Any],
+                track: int = TRACK_PIPELINE) -> None:
+        """Record a counter sample (rendered as a Chrome counter track)."""
+        self._record(("C", name, "counter", track, ts, 0, values))
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Bump a named scalar (exported in the capture, not the timeline)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @contextmanager
+    def span(self, name: str, cat: str, track: int = TRACK_INVOCATION,
+             args: Optional[Dict[str, Any]] = None):
+        """Context manager: spans the clock interval of the body."""
+        open_span = Span(name, cat, track, self._now, args)
+        try:
+            yield open_span
+        finally:
+            dur = self._now - open_span.ts
+            self.complete(open_span.name, open_span.cat, open_span.ts,
+                          dur if dur > 0 else 1, open_span.track,
+                          open_span.args)
+
+    # -- capture -----------------------------------------------------------
+
+    def freeze(self) -> Dict[str, Any]:
+        """A picklable/JSON-ready snapshot of everything recorded.
+
+        The capture is what crosses process boundaries when traced
+        measurements fan out through :mod:`repro.core.parallel`, and
+        what the exporters consume.
+        """
+        return {
+            "schema": CAPTURE_SCHEMA,
+            "clock": self._now,
+            "events": [list(event) for event in self.events],
+            "counters": dict(self.counters),
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return "Tracer(%d events, now=%d)" % (len(self.events), self._now)

@@ -13,7 +13,14 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional
 
+from repro.obs.tracer import TRACK_ENGINE
 from repro.serverless.container import ContainerImage, ImageRegistry
+
+#: Fixed logical-tick costs per engine operation.  Container state
+#: transitions happen outside the simulated cores, so traced runs charge
+#: these deterministic constants instead of wall clock — two runs of the
+#: same configuration must produce identical trace timestamps.
+ENGINE_OP_COSTS = {"create": 8, "start": 4, "stop": 2, "remove": 1}
 
 #: Kernel config options Docker's check-config.sh requires (abridged to
 #: the ones that actually broke the thesis's gem5 kernels).
@@ -69,6 +76,21 @@ class ContainerEngine:
         self._local_images: Dict[str, ContainerImage] = {}
         self._containers: Dict[str, Container] = {}
         self.version = "25.0.0"  # Table 4.1
+        #: Optional :class:`repro.obs.Tracer`; lifecycle operations then
+        #: record spans on the engine track (container *names* only —
+        #: container ids come from a process-global counter and would
+        #: break trace determinism).
+        self.tracer = None
+
+    def _trace_op(self, op: str, container_name: str) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        cost = ENGINE_OP_COSTS[op]
+        start = tracer.now
+        tracer.advance(cost)
+        tracer.complete("docker.%s" % op, "engine", start, cost,
+                        TRACK_ENGINE, args={"container": container_name})
 
     # -- daemon preflight -------------------------------------------------------
 
@@ -115,6 +137,7 @@ class ContainerEngine:
             raise EngineError("no such image %r; docker pull it first" % image_name)
         container = Container(image, name=name, cpu_pin=cpu_pin)
         self._containers[container.name] = container
+        self._trace_op("create", container.name)
         return container
 
     def start(self, name: str) -> Container:
@@ -123,6 +146,7 @@ class ContainerEngine:
             raise EngineError("container %r already running" % name)
         container.state = "running"
         container.started_count += 1
+        self._trace_op("start", container.name)
         return container
 
     def stop(self, name: str) -> Container:
@@ -130,6 +154,7 @@ class ContainerEngine:
         if not container.running:
             raise EngineError("container %r is not running" % name)
         container.state = "stopped"
+        self._trace_op("stop", container.name)
         return container
 
     def remove(self, name: str) -> None:
@@ -137,6 +162,7 @@ class ContainerEngine:
         if container.running:
             raise EngineError("cannot remove running container %r" % name)
         del self._containers[name]
+        self._trace_op("remove", name)
 
     def ps(self, all_states: bool = False) -> List[Container]:
         return [
@@ -156,7 +182,7 @@ class ContainerEngine:
         )
 
 
-def install_docker(arch: str) -> ContainerEngine:
+def install_docker(arch: str, tracer=None) -> ContainerEngine:
     """Provision an engine the way the thesis had to per platform.
 
     On x86 the package manager provides Docker.  On RISC-V (as of the
@@ -164,4 +190,6 @@ def install_docker(arch: str) -> ContainerEngine:
     rootlesskit et al. must be built from source — a ~3 hour affair inside
     the QEMU VM (§3.2.2).  We record that provenance on the engine.
     """
-    return ContainerEngine(arch, installed_from_source=(arch == "riscv"))
+    engine = ContainerEngine(arch, installed_from_source=(arch == "riscv"))
+    engine.tracer = tracer
+    return engine

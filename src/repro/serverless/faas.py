@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.db.engine import WorkReceipt, encoded_size
+from repro.obs.tracer import TRACK_INVOCATION
 from repro.serverless.engine import ContainerEngine, EngineError
 
 
@@ -69,6 +70,45 @@ class InvocationRecord:
         for receipt in self.receipts.values():
             combined.merge(receipt)
         return combined
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Round-trippable view (see :meth:`from_dict`); used by the
+        result cache and the JSON exporters."""
+        return {
+            "function": self.function,
+            "runtime": self.runtime,
+            "cold": self.cold,
+            "sequence": self.sequence,
+            "request_bytes": self.request_bytes,
+            "response_bytes": self.response_bytes,
+            "result": self.result,
+            "receipts": {name: receipt.as_dict()
+                         for name, receipt in self.receipts.items()},
+            "metrics": dict(self.metrics),
+            "children": [child.as_dict() for child in self.children],
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "InvocationRecord":
+        record = cls(
+            function=data["function"],
+            runtime=data["runtime"],
+            cold=data["cold"],
+            request_bytes=data["request_bytes"],
+            sequence=data["sequence"],
+        )
+        record.response_bytes = data.get("response_bytes", 0)
+        record.result = data.get("result")
+        record.receipts = {
+            name: WorkReceipt.from_dict(receipt)
+            for name, receipt in data.get("receipts", {}).items()
+        }
+        record.metrics = dict(data.get("metrics", {}))
+        record.children = [cls.from_dict(child)
+                           for child in data.get("children", [])]
+        record.error = data.get("error")
+        return record
 
     def __repr__(self) -> str:
         return "InvocationRecord(%s #%d, %s)" % (
@@ -161,12 +201,17 @@ class FaasPlatform:
 
     def __init__(self, engine: ContainerEngine,
                  policy: Optional[KeepAlivePolicy] = None,
-                 server_core: int = 1):
+                 server_core: int = 1, tracer=None):
         self.engine = engine
         self.policy = policy or KeepAlivePolicy()
         self.server_core = server_core
         self.clock = 0.0
         self._functions: Dict[str, FunctionInstance] = {}
+        #: Optional :class:`repro.obs.Tracer`; invocations then record
+        #: the queue → cold-boot → exec → respond lifecycle as spans.
+        self.tracer = tracer
+        if tracer is not None and engine.tracer is None:
+            engine.tracer = tracer
 
     # -- deployment -------------------------------------------------------------
 
@@ -210,11 +255,29 @@ class FaasPlatform:
         # observes a dead instance after a long gap.
         self.clock += advance_clock
         self._reap()
+        tracer = self.tracer
+        if tracer is not None:
+            invoke_start = tracer.now
+            tracer.advance(1)  # routing/queueing delay, one logical tick
+            tracer.complete("queue", "invocation", invoke_start, 1,
+                            TRACK_INVOCATION, args={"function": name})
         cold = instance.state == FunctionState.DEAD
         if cold:
             instance.local = {}  # in-process state dies with the container
-            self._cold_start(instance)
+            if tracer is not None:
+                boot_start = tracer.now
+                self._cold_start(instance)
+                boot_ticks = tracer.now - boot_start
+                tracer.complete("cold-boot", "invocation", boot_start,
+                                boot_ticks if boot_ticks > 0 else 1,
+                                TRACK_INVOCATION,
+                                args={"function": name,
+                                      "container": instance.container_name})
+            else:
+                self._cold_start(instance)
         instance.state = FunctionState.RUNNING
+        if tracer is not None:
+            exec_start = tracer.now
 
         record = InvocationRecord(
             function=name,
@@ -239,6 +302,20 @@ class FaasPlatform:
             if hasattr(service, "take_receipt"):
                 record.attach_receipt(service_name, service.take_receipt())
         record.response_bytes = encoded_size(record.result)
+        if tracer is not None:
+            # The handler ran functionally; detailed cycle attribution
+            # comes from the harness's timing run that follows.  Charge a
+            # fixed tick so the lifecycle phases stay visibly ordered.
+            tracer.advance(1)
+            tracer.complete("exec", "invocation", exec_start,
+                            tracer.now - exec_start, TRACK_INVOCATION,
+                            args={"sequence": record.sequence,
+                                  "cold": cold, "ok": record.ok})
+            respond_start = tracer.now
+            tracer.advance(1)
+            tracer.complete("respond", "invocation", respond_start, 1,
+                            TRACK_INVOCATION,
+                            args={"bytes": record.response_bytes})
 
         instance.invocations += 1
         if cold:
@@ -250,6 +327,12 @@ class FaasPlatform:
             # A crashed container is recycled, not kept warm.
             self.kill(name)
         self._reap()  # enforce the warm-pool cap immediately
+        if tracer is not None:
+            total = tracer.now - invoke_start
+            tracer.complete("invoke:%s" % name, "invocation", invoke_start,
+                            total if total > 0 else 1, TRACK_INVOCATION,
+                            args={"cold": cold,
+                                  "sequence": record.sequence})
         return record
 
     def _cold_start(self, instance: FunctionInstance) -> None:

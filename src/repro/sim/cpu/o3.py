@@ -21,11 +21,22 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro.obs.tracer import (
+    TRACK_COMMIT,
+    TRACK_DISPATCH,
+    TRACK_FETCH,
+    TRACK_ISSUE,
+    TRACK_PIPELINE,
+)
 from repro.sim.cpu.base import BaseCpu, RunResult
 from repro.sim.cpu.bpred import make_predictor
 from repro.sim.isa.base import NUM_ARCH_REGS, InstrClass
 from repro.sim.mem.hierarchy import CoreMemSystem
 from repro.sim.statistics import StatGroup
+
+#: Traced runs sample the pipeline counters once per this many committed
+#: instructions (a Chrome counter track, cheap enough to keep dense).
+_SAMPLE_PERIOD = 1024
 
 
 class O3Config:
@@ -152,8 +163,17 @@ class O3Cpu(BaseCpu):
         )
         self.stat_rob_stalls = self.stats.scalar("robStalls", "dispatch stalls on full ROB")
         self.stat_lsq_stalls = self.stats.scalar("lsqStalls", "dispatch stalls on full LSQ")
+        #: Optional :class:`repro.obs.Tracer`.  The tracing-enabled run
+        #: uses a separate instrumented loop (:meth:`_run_traced`) so the
+        #: fast path below stays free of per-instruction guard branches.
+        self.tracer = None
 
     def run_program(self, assembled, seed: int = 0) -> RunResult:
+        if self.tracer is None:
+            return self._run_fast(assembled, seed)
+        return self._run_traced(assembled, seed)
+
+    def _run_fast(self, assembled, seed: int = 0) -> RunResult:
         cfg = self.config
         mem = self.mem
         bpred = self.bpred
@@ -387,4 +407,292 @@ class O3Cpu(BaseCpu):
         total_cycles = last_commit
         self.stat_cycles.inc(total_cycles)
         self.stat_insts.inc(instructions)
+        return RunResult(total_cycles, instructions, loads, stores, branches)
+
+    def _run_traced(self, assembled, seed: int = 0) -> RunResult:
+        """The :meth:`_run_fast` timing model plus phase attribution.
+
+        Byte-identical arithmetic to the fast loop — the tier-1 suite
+        asserts traced and untraced runs produce the same result and
+        stats — with stall-cycle accumulators, periodic counter samples
+        and end-of-run phase spans layered on top.  Kept as a separate
+        copy so the tracing-disabled path pays zero guard branches per
+        instruction.
+        """
+        tracer = self.tracer
+        base = tracer.now
+        cfg = self.config
+        mem = self.mem
+        bpred = self.bpred
+        line_mask = ~(mem.config.line_size - 1)
+        l1_latency = mem.config.l1_latency
+        names = InstrClass.NAMES
+        by_class = self.stat_by_class
+
+        scoreboard_size = max(NUM_ARCH_REGS + 32, cfg.int_regs + cfg.float_regs)
+        reg_ready = [0] * scoreboard_size
+
+        rob = deque()
+        load_queue = deque()
+        store_queue = deque()
+
+        fu_alu = _FuPool(cfg.int_alus)
+        fu_mul = _FuPool(cfg.int_mult_units)
+        fu_div = _FuPool(cfg.int_div_units)
+        fu_fp = _FuPool(cfg.fp_units)
+        fu_mem = _FuPool(cfg.mem_ports)
+        fu_by_class = (
+            fu_alu,   # IALU
+            fu_mul,   # IMUL
+            fu_div,   # IDIV
+            fu_fp,    # FALU
+            fu_fp,    # FMUL
+            fu_fp,    # FDIV
+            fu_mem,   # LOAD
+            fu_mem,   # STORE
+            fu_alu,   # BRANCH
+            fu_alu,   # CALL
+            fu_alu,   # RET
+            fu_alu,   # SYSCALL
+            fu_alu,   # CSR
+            fu_alu,   # NOP
+        )
+        acquire_by_class = tuple(pool.acquire for pool in fu_by_class)
+        latency_by_class = _LATENCY_BY_CLASS
+        busy_by_class = _BUSY_BY_CLASS
+        serializing_by_class = _SERIALIZING_BY_CLASS
+        ifetch = mem.ifetch
+        data_access = mem.data_access
+        predict_and_update = bpred.predict_and_update
+        dispatch_width = cfg.dispatch_width
+        commit_width = cfg.commit_width
+        rob_entries = cfg.rob_entries
+        lq_entries = cfg.lq_entries
+        sq_entries = cfg.sq_entries
+        mispredict_penalty = cfg.mispredict_penalty
+        rob_popleft = rob.popleft
+        rob_append = rob.append
+        lq_popleft = load_queue.popleft
+        lq_append = load_queue.append
+        sq_popleft = store_queue.popleft
+        sq_append = store_queue.append
+
+        dispatch_cycle = 0
+        dispatch_slots = 0
+        commit_cycle = 0
+        commit_slots = 0
+        last_commit = 0
+
+        redirect_at = 0
+        line_ready = 0
+        current_line = -1
+
+        instructions = 0
+        loads = stores = branches = 0
+        is_load = InstrClass.LOAD
+        is_store = InstrClass.STORE
+        is_branch = InstrClass.BRANCH
+
+        class_counts = [0] * _NUM_CLASSES
+        rob_stalls = 0
+        lsq_stalls = 0
+        squashes = 0
+
+        # Phase attribution (cycles lost per pipeline stage) — the only
+        # state the fast loop does not carry.
+        fetch_stall_cycles = 0
+        dispatch_stall_cycles = 0
+        operand_wait_cycles = 0
+        fu_wait_cycles = 0
+        commit_stall_cycles = 0
+        next_sample = _SAMPLE_PERIOD
+
+        prev_static = None
+        rotation = 0
+
+        for static, addr, taken in assembled.trace(seed):
+            icls = static.icls
+            pc = static.pc
+            if static is prev_static:
+                rotation += 1
+            else:
+                prev_static = static
+                rotation = 0
+
+            # ---- fetch -------------------------------------------------
+            pc_line = pc & line_mask
+            if pc_line != current_line:
+                fetch_start = dispatch_cycle if dispatch_cycle > redirect_at else redirect_at
+                latency = ifetch(pc, fetch_start)
+                miss_extra = latency - l1_latency
+                line_ready = fetch_start + (miss_extra if miss_extra > 0 else 0)
+                current_line = pc_line
+
+            earliest_dispatch = line_ready
+            if redirect_at > earliest_dispatch:
+                earliest_dispatch = redirect_at
+
+            # ---- dispatch (in-order, width-limited) ----------------------
+            if earliest_dispatch > dispatch_cycle:
+                fetch_stall_cycles += earliest_dispatch - dispatch_cycle
+                dispatch_cycle = earliest_dispatch
+                dispatch_slots = 1
+            elif dispatch_slots < dispatch_width:
+                dispatch_slots += 1
+            else:
+                dispatch_cycle += 1
+                dispatch_slots = 1
+
+            # ROB occupancy.
+            while rob and rob[0] <= dispatch_cycle:
+                rob_popleft()
+            if len(rob) >= rob_entries:
+                stall_until = rob_popleft()
+                if stall_until > dispatch_cycle:
+                    dispatch_stall_cycles += stall_until - dispatch_cycle
+                    dispatch_cycle = stall_until
+                    dispatch_slots = 1
+                rob_stalls += 1
+
+            # LSQ occupancy.
+            if icls == is_load:
+                while load_queue and load_queue[0] <= dispatch_cycle:
+                    lq_popleft()
+                if len(load_queue) >= lq_entries:
+                    stall_until = lq_popleft()
+                    if stall_until > dispatch_cycle:
+                        dispatch_stall_cycles += stall_until - dispatch_cycle
+                        dispatch_cycle = stall_until
+                        dispatch_slots = 1
+                    lsq_stalls += 1
+            elif icls == is_store:
+                while store_queue and store_queue[0] <= dispatch_cycle:
+                    sq_popleft()
+                if len(store_queue) >= sq_entries:
+                    stall_until = sq_popleft()
+                    if stall_until > dispatch_cycle:
+                        dispatch_stall_cycles += stall_until - dispatch_cycle
+                        dispatch_cycle = stall_until
+                        dispatch_slots = 1
+                    lsq_stalls += 1
+
+            if serializing_by_class[icls] and last_commit > dispatch_cycle:
+                dispatch_stall_cycles += last_commit - dispatch_cycle
+                dispatch_cycle = last_commit
+                dispatch_slots = 1
+
+            # ---- issue (out-of-order) -------------------------------------
+            rotate = static.rotate
+            if rotate:
+                lane_reg = rotate[rotation % len(rotate)]
+                srcs = (lane_reg,) if static.dst >= 0 or icls == is_store else static.srcs
+                dst = lane_reg if static.dst >= 0 else -1
+            else:
+                srcs = static.srcs
+                dst = static.dst
+            ready = dispatch_cycle + 1
+            for src in srcs:
+                src_ready = reg_ready[src]
+                if src_ready > ready:
+                    ready = src_ready
+            operand_wait_cycles += ready - dispatch_cycle - 1
+
+            if icls == is_load:
+                issue = acquire_by_class[icls](ready, 1)
+                latency = data_access(addr, False, issue, pc)
+                complete = issue + latency
+                lq_append(complete)
+                loads += 1
+            elif icls == is_store:
+                issue = acquire_by_class[icls](ready, 1)
+                data_access(addr, True, issue, pc)
+                complete = issue + 1
+                sq_append(complete)
+                stores += 1
+            else:
+                latency = latency_by_class[icls]
+                issue = acquire_by_class[icls](ready, busy_by_class[icls])
+                complete = issue + latency
+                if icls == is_branch:
+                    branches += 1
+                    if not predict_and_update(pc, taken):
+                        squash_at = complete + mispredict_penalty
+                        if squash_at > redirect_at:
+                            redirect_at = squash_at
+                        squashes += 1
+            if issue > ready:
+                fu_wait_cycles += issue - ready
+
+            if dst >= 0:
+                reg_ready[dst] = complete
+
+            # ---- commit (in-order, width-limited) --------------------------
+            earliest_commit = complete + 1
+            if last_commit > earliest_commit:
+                earliest_commit = last_commit
+            if earliest_commit > commit_cycle:
+                commit_stall_cycles += earliest_commit - commit_cycle
+                commit_cycle = earliest_commit
+                commit_slots = 1
+            elif commit_slots < commit_width:
+                commit_slots += 1
+            else:
+                commit_cycle += 1
+                commit_slots = 1
+            last_commit = commit_cycle
+            rob_append(commit_cycle)
+
+            instructions += 1
+            class_counts[icls] += 1
+            if instructions >= next_sample:
+                next_sample += _SAMPLE_PERIOD
+                tracer.counter("o3.core%d" % self.core_id,
+                               base + commit_cycle,
+                               {"instructions": instructions,
+                                "robStalls": rob_stalls,
+                                "lsqStalls": lsq_stalls,
+                                "squashes": squashes})
+
+        for icls, count in enumerate(class_counts):
+            if count:
+                by_class.inc(names[icls], count)
+        if rob_stalls:
+            self.stat_rob_stalls.inc(rob_stalls)
+        if lsq_stalls:
+            self.stat_lsq_stalls.inc(lsq_stalls)
+        if squashes:
+            self.stat_mispredict_squashes.inc(squashes)
+
+        total_cycles = last_commit
+        self.stat_cycles.inc(total_cycles)
+        self.stat_insts.inc(instructions)
+
+        tracer.complete("o3.run", "pipeline", base,
+                        total_cycles if total_cycles > 0 else 1,
+                        TRACK_PIPELINE,
+                        args={"core": self.core_id,
+                              "instructions": instructions,
+                              "loads": loads, "stores": stores,
+                              "branches": branches, "squashes": squashes,
+                              "robStalls": rob_stalls,
+                              "lsqStalls": lsq_stalls})
+        if fetch_stall_cycles:
+            tracer.complete("fetch-stall", "pipeline", base,
+                            fetch_stall_cycles, TRACK_FETCH)
+        if dispatch_stall_cycles:
+            tracer.complete("dispatch-stall", "pipeline", base,
+                            dispatch_stall_cycles, TRACK_DISPATCH,
+                            args={"robStalls": rob_stalls,
+                                  "lsqStalls": lsq_stalls})
+        if operand_wait_cycles:
+            tracer.complete("operand-wait", "pipeline", base,
+                            operand_wait_cycles, TRACK_ISSUE)
+        if fu_wait_cycles:
+            tracer.complete("fu-wait", "pipeline", base,
+                            fu_wait_cycles, TRACK_ISSUE)
+        if commit_stall_cycles:
+            tracer.complete("commit-stall", "pipeline", base,
+                            commit_stall_cycles, TRACK_COMMIT)
+        tracer.count("o3.instructions", instructions)
+        tracer.advance(total_cycles)
         return RunResult(total_cycles, instructions, loads, stores, branches)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.tracer import TRACK_EVENTQ
+
 #: Default event priority.  Lower values run first within a tick.
 DEFAULT_PRIORITY = 50
 #: Priority used by simulator-control events (stat dump, checkpoint, exit).
@@ -73,6 +75,9 @@ class EventQueue:
         self.now = 0
         self.exit_cause: Optional[str] = None
         self.events_run = 0
+        #: Optional :class:`repro.obs.Tracer`; when attached, every
+        #: executed event is recorded as an instant on the eventq track.
+        self.tracer = None
 
     def schedule(
         self,
@@ -132,6 +137,7 @@ class EventQueue:
         hit first.
         """
         executed = 0
+        tracer = self.tracer
         while self._heap:
             when, _prio, _seq, event = self._heap[0]
             if until is not None and when > until:
@@ -148,6 +154,9 @@ class EventQueue:
                 self.exit_cause = exit_request.cause
                 return self.exit_cause
             self.events_run += 1
+            if tracer is not None:
+                tracer.instant(event.name, "eventq", tracer.now,
+                               track=TRACK_EVENTQ, args={"tick": when})
             executed += 1
             if max_events is not None and executed >= max_events:
                 self.exit_cause = "event budget exhausted"

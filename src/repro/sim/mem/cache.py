@@ -94,6 +94,10 @@ class Cache:
         self.misses = 0
         self.writebacks = 0
 
+        #: Optional :class:`repro.obs.CacheProfiler`; when attached, the
+        #: demand stream feeds its shadow miss classifier.
+        self.profiler = None
+
         stats = (stats_parent or StatGroup("orphan")).group(name)
         self.stats = stats
         self.stat_accesses = stats.add(_CounterView(
@@ -138,13 +142,18 @@ class Cache:
         index = line & self._set_mask
         resident = self._sets[index]
         self.accesses += 1
+        profiler = self.profiler
         if line in resident:
             self.hits += 1
+            if profiler is not None:
+                profiler.on_hit(line)
             self._policies[index].touch(line)
             if write:
                 self._dirty[index].add(line)
             return True
         self.misses += 1
+        if profiler is not None:
+            profiler.on_miss(line)
         policy = self._policies[index]
         if len(resident) >= self.assoc:
             victim = policy.victim()

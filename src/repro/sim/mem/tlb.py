@@ -42,6 +42,9 @@ class Tlb:
         self.stat_misses = stats.scalar("misses", "TLB misses")
         self.stat_walks = stats.scalar("walks", "full page-table walks")
 
+        #: Optional :class:`repro.obs.TlbProfiler`.
+        self.profiler = None
+
     def translate(self, addr: int) -> int:
         """Translate; returns extra cycles spent on TLB handling (0 on hit)."""
         page = addr >> PAGE_SHIFT
@@ -51,6 +54,8 @@ class Tlb:
             self._tlb[page] = None  # refresh LRU position
             return 0
         self.stat_misses.inc()
+        if self.profiler is not None:
+            self.profiler.on_miss(page)
         penalty = self._walk(page)
         if len(self._tlb) >= self.entries:
             del self._tlb[next(iter(self._tlb))]
@@ -66,6 +71,8 @@ class Tlb:
             self._walk_cache[directory] = None
             return self.cached_walk_cycles
         self.stat_walks.inc()
+        if self.profiler is not None:
+            self.profiler.on_walk(directory)
         if len(self._walk_cache) >= self.walk_cache_entries:
             del self._walk_cache[next(iter(self._walk_cache))]
         self._walk_cache[directory] = None

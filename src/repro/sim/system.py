@@ -59,6 +59,7 @@ class SimulatedSystem:
         self._cpus: Dict[Tuple[int, str], BaseCpu] = {}
         self._active_model = ["atomic"] * num_cores
         self._assembled_cache: Dict[int, Tuple[object, object]] = {}
+        self.tracer = None
 
     # -- CPU model switching ---------------------------------------------------
 
@@ -77,10 +78,54 @@ class SimulatedSystem:
             if model == "atomic":
                 self._cpus[key] = AtomicCpu(core_id, mem, self.stats)
             elif model == "o3":
-                self._cpus[key] = O3Cpu(core_id, mem, self.stats, self.o3_config)
+                cpu = O3Cpu(core_id, mem, self.stats, self.o3_config)
+                cpu.tracer = self.tracer
+                self._cpus[key] = cpu
             else:
                 self._cpus[key] = KvmCpu(core_id, mem, self.stats, seed=self.seed)
         return self._cpus[key]
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or with ``None``, detach) a :class:`repro.obs.Tracer`.
+
+        Wires the tracer into the event queue and every detailed core —
+        including ones created lazily afterwards.  Attach *after* boot /
+        checkpoint restore so both a fresh-boot run and a
+        checkpoint-restored run trace the same measured region (the boot
+        checkpoint cache makes the pre-measurement work differ between
+        them).
+        """
+        self.tracer = tracer
+        self.eventq.tracer = tracer
+        for (_core_id, model), cpu in self._cpus.items():
+            if model == "o3":
+                cpu.tracer = tracer
+
+    def attach_profilers(self, core_id: int) -> Dict[str, object]:
+        """Attach cache/TLB profilers to one core; returns them by name.
+
+        Profilers are pure counters (see :mod:`repro.obs.attribution`);
+        the harness snapshots them around each request and emits deltas
+        as trace spans.
+        """
+        from repro.obs.attribution import CacheProfiler, TlbProfiler
+
+        mem = self.cores[core_id]
+        profilers: Dict[str, object] = {}
+        for cache in (mem.l1i, mem.l1d, mem.l2):
+            cache.profiler = CacheProfiler.for_cache(cache)
+            profilers[cache.name] = cache.profiler
+        for tlb in (mem.itlb, mem.dtlb):
+            tlb.profiler = TlbProfiler(tlb.name)
+            profilers[tlb.name] = tlb.profiler
+        return profilers
+
+    def detach_profilers(self, core_id: int) -> None:
+        mem = self.cores[core_id]
+        for unit in (mem.l1i, mem.l1d, mem.l2, mem.itlb, mem.dtlb):
+            unit.profiler = None
 
     def switch_cpu(self, core_id: int, model: str) -> BaseCpu:
         """Switch a core's active model (checkpoint-and-restore workflow)."""

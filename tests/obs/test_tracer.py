@@ -1,0 +1,122 @@
+"""Tracer and miss-attribution unit tests."""
+
+import pytest
+
+from repro.obs import (
+    MissClassifier,
+    TRACK_CACHE,
+    TRACK_INVOCATION,
+    TRACK_PIPELINE,
+    Tracer,
+    snapshot_delta,
+)
+
+
+class TestClock:
+    def test_starts_at_zero_and_advances(self):
+        tracer = Tracer()
+        assert tracer.now == 0
+        tracer.advance(7)
+        tracer.advance(3)
+        assert tracer.now == 10
+
+    def test_negative_advance_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.advance(-1)
+
+    def test_zero_advance_is_a_noop(self):
+        tracer = Tracer()
+        tracer.advance(0)
+        assert tracer.now == 0
+
+
+class TestEvents:
+    def test_complete_span_shape(self):
+        tracer = Tracer()
+        tracer.complete("boot", "invocation", ts=5, dur=12,
+                        track=TRACK_INVOCATION, args={"k": 1})
+        ph, name, cat, track, ts, dur, args = tracer.events[0]
+        assert (ph, name, cat, track, ts, dur) == (
+            "X", "boot", "invocation", TRACK_INVOCATION, 5, 12)
+        assert args == {"k": 1}
+
+    def test_instant_and_counter(self):
+        tracer = Tracer()
+        tracer.instant("tick", "eventq", 3)
+        tracer.counter("ipc", 4, {"committed": 9}, track=TRACK_PIPELINE)
+        phs = [event[0] for event in tracer.events]
+        assert phs == ["I", "C"]
+
+    def test_span_context_manager_minimum_duration(self):
+        tracer = Tracer()
+        with tracer.span("noop", "invocation", track=TRACK_INVOCATION):
+            pass  # clock did not move: span still gets dur >= 1
+        assert tracer.events[0][5] == 1
+
+    def test_span_context_manager_measures_advance(self):
+        tracer = Tracer()
+        with tracer.span("work", "invocation", track=TRACK_INVOCATION):
+            tracer.advance(42)
+        assert tracer.events[0][5] == 42
+
+    def test_named_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.count("instructions", 5)
+        tracer.count("instructions", 7)
+        assert tracer.counters["instructions"] == 12
+
+
+class TestFreeze:
+    def test_freeze_is_a_plain_dict(self):
+        tracer = Tracer()
+        tracer.advance(9)
+        tracer.complete("x", "cache", 0, 9, TRACK_CACHE)
+        tracer.count("hits", 3)
+        capture = tracer.freeze()
+        assert capture["schema"].startswith("repro-trace/")
+        assert capture["clock"] == 9
+        assert capture["counters"] == {"hits": 3}
+        assert capture["events"][0][0] == "X"
+        # freeze() must be picklable/JSON-able: lists and dicts only.
+        assert isinstance(capture["events"], list)
+        assert isinstance(capture["events"][0], list)
+
+
+class TestMissClassifier:
+    def test_first_touch_is_cold(self):
+        classifier = MissClassifier(capacity_lines=4)
+        assert classifier.on_miss(10) == "cold"
+        assert classifier.on_miss(11) == "cold"
+
+    def test_capacity_miss_when_working_set_exceeds_cache(self):
+        classifier = MissClassifier(capacity_lines=2)
+        for line in (1, 2, 3):
+            classifier.on_miss(line)
+        # line 1 fell out of a fully-associative cache of the same size:
+        # its re-miss is a true capacity miss.
+        assert classifier.on_miss(1) == "capacity"
+
+    def test_conflict_miss_when_line_would_have_survived(self):
+        classifier = MissClassifier(capacity_lines=8)
+        classifier.on_miss(1)
+        classifier.on_miss(2)
+        # both lines fit in the shadow cache, so a set-associative miss
+        # on either is attributable to mapping conflicts.
+        assert classifier.on_miss(1) == "conflict"
+
+    def test_hit_refreshes_recency(self):
+        classifier = MissClassifier(capacity_lines=2)
+        classifier.on_miss(1)
+        classifier.on_miss(2)
+        classifier.on_hit(1)  # 2 is now the LRU line
+        classifier.on_miss(3)  # evicts 2
+        assert classifier.on_miss(1) == "conflict"
+        assert classifier.on_miss(2) == "capacity"
+
+
+class TestSnapshotDelta:
+    def test_delta_of_counters(self):
+        before = {"hits": 10, "misses": 2}
+        after = {"hits": 25, "misses": 2}
+        assert snapshot_delta(after, before) == {"hits": 15, "misses": 0}
