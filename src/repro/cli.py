@@ -7,6 +7,7 @@
     python -m repro compare aes-python --isas riscv,x86
     python -m repro suite hotel --isa riscv --db cassandra
     python -m repro trace fibonacci --isa riscv64 --out trace.json
+    python -m repro chaos fibonacci-go --isa riscv --fault-seed 7
     python -m repro sizes --arch riscv
     python -m repro dse fibonacci-python --axis l2_size=131072,524288
     python -m repro dbcompare
@@ -308,6 +309,43 @@ def _trace_report(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run one measurement under a seeded fault plan; print the damage.
+
+    The stock chaos mix arms every failure mode at ``--rate``; the seed
+    makes the whole run deterministic — same seed, same faults, same
+    retries, same fallbacks, bit-identical records.
+    """
+    from repro.core.parallel import execute_task
+    from repro.core.spec import MeasurementSpec
+    from repro.faults import FaultPlan
+    from repro.serverless.metrics import MetricsCollector
+
+    function = _resolve_function(args.function)
+    plan = FaultPlan.chaos(seed=args.fault_seed, rate=args.rate,
+                           stall_ticks=args.stall_ticks)
+    spec = MeasurementSpec(
+        function=function.name, isa=args.isa, scale=_scale_from(args),
+        seed=args.seed, db=args.db if function.suite == "hotel" else None,
+        faults=plan)
+    measurement = execute_task(spec)
+    print("%s on simulated %s under chaos (fault seed %d, rate %g)" % (
+        function.name, args.isa, args.fault_seed, args.rate))
+    print(_format_stats("cold (request 1)", measurement.cold))
+    print(_format_stats("warm (request 10)", measurement.warm))
+    errors = sum(1 for record in measurement.records if not record.ok)
+    injected = sum(
+        amount for record in measurement.records
+        for key, amount in record.metrics.items() if key.startswith("faults."))
+    print("requests: %d ok, %d failed; %d fault(s) injected" % (
+        len(measurement.records) - errors, errors, int(injected)))
+    collector = MetricsCollector()
+    collector.observe_all(measurement.records)
+    print()
+    print(collector.render_resilience())
+    return 0
+
+
 def cmd_lukewarm(args) -> int:
     """Print the cold/warm/lukewarm triple for a function."""
     harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
@@ -475,6 +513,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "program validation instead of a traced run")
     _add_scale_arguments(trace)
     trace.set_defaults(func=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="measurement under a seeded, deterministic fault plan")
+    chaos.add_argument("function")
+    chaos.add_argument("--isa", default="riscv", type=_normalize_isa,
+                       help="riscv/x86/arm (vendor spellings accepted)")
+    chaos.add_argument("--db", default="cassandra")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="measurement seed (simulator determinism)")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="fault-plan seed: same seed, same faults")
+    chaos.add_argument("--rate", type=float, default=0.1,
+                       help="per-site fault probability (default 0.1)")
+    chaos.add_argument("--stall-ticks", type=int, default=32,
+                       help="cold-start stall / RPC latency-spike magnitude")
+    _add_scale_arguments(chaos)
+    chaos.set_defaults(func=cmd_chaos)
 
     lukewarm = sub.add_parser("lukewarm",
                               help="cold/warm/lukewarm triple for a function")

@@ -204,6 +204,7 @@ class ExperimentHarness:
         setup_cpu: str = "atomic",
         seed: int = 0,
         tracer=None,
+        faults=None,
     ):
         self.isa = isa
         self.scale = scale
@@ -215,6 +216,13 @@ class ExperimentHarness:
         #: fresh-boot run and a cached-checkpoint run trace the same
         #: measured region and produce byte-identical captures.
         self.tracer = tracer
+        #: Optional :class:`repro.faults.FaultInjector` (an *armed* plan).
+        #: Threaded into the container engine, the FaaS platform and the
+        #: memcached wrapper during measurement; ``None`` keeps every
+        #: layer on its exact pre-fault path.
+        self.faults = faults
+        if faults is not None and tracer is not None:
+            faults.tracer = tracer
         self.system = SimulatedSystem(
             name="sys",
             isa_name=isa,
@@ -339,11 +347,11 @@ class ExperimentHarness:
         tracer = self.tracer
         profilers = self._attach_observability()
 
-        services = services or {}
-        engine = install_docker(self.isa, tracer=tracer)
+        services = self._wrap_services(services or {})
+        engine = install_docker(self.isa, tracer=tracer, faults=self.faults)
         engine.registry.push(function.image(self.isa))
         platform = FaasPlatform(engine, server_core=SERVER_CORE,
-                                tracer=tracer)
+                                tracer=tracer, faults=self.faults)
         platform.deploy(function.name, function.name, function.runtime_name,
                         function.handler, services=services)
 
@@ -359,7 +367,11 @@ class ExperimentHarness:
                 payload = payload_factory(sequence)
             else:
                 payload = function.default_payload(sequence)
-            record = platform.invoke(function.name, payload)
+            # Under an armed fault plan, injected crashes become error
+            # records (the production-FaaS 500) instead of aborting the
+            # protocol; fault-less runs keep the strict pre-fault path.
+            record = platform.invoke(function.name, payload,
+                                     raise_errors=self.faults is None)
             records.append(record)
             program = function.invocation_program(record, services, self.scale,
                                                   seed=self.seed)
@@ -409,9 +421,9 @@ class ExperimentHarness:
         tracer = self.tracer
         profilers = self._attach_observability()
 
-        engine = install_docker(self.isa, tracer=tracer)
+        engine = install_docker(self.isa, tracer=tracer, faults=self.faults)
         platform = FaasPlatform(engine, server_core=SERVER_CORE,
-                                tracer=tracer)
+                                tracer=tracer, faults=self.faults)
         function = deploy(platform, self.isa)
         services = platform.function(function.name).services
 
@@ -427,7 +439,11 @@ class ExperimentHarness:
                 payload = payload_factory(sequence)
             else:
                 payload = function.default_payload(sequence)
-            record = platform.invoke(function.name, payload)
+            # Under an armed fault plan, injected crashes become error
+            # records (the production-FaaS 500) instead of aborting the
+            # protocol; fault-less runs keep the strict pre-fault path.
+            record = platform.invoke(function.name, payload,
+                                     raise_errors=self.faults is None)
             records.append(record)
             program = function.invocation_program(record, services, self.scale,
                                                   seed=self.seed)
@@ -505,6 +521,24 @@ class ExperimentHarness:
         lukewarm = RequestStats(result.cycles, result.instructions, dump,
                                 self.system.name)
         return LukewarmMeasurement(base, lukewarm, intruder.name)
+
+    def _wrap_services(self, services: Dict[str, Any]) -> Dict[str, Any]:
+        """Under an armed fault plan, put memcached behind the breaker.
+
+        The :class:`~repro.faults.ResilientCache` degrades injected
+        ``db.timeout`` fires to cache misses, so cached handlers fall
+        through to the backing DB with no handler changes.  With no
+        faults the services pass through untouched.
+        """
+        if self.faults is None:
+            return services
+        from repro.faults.policy import ResilientCache
+
+        wrapped = dict(services)
+        cache = wrapped.get("memcached")
+        if cache is not None and not isinstance(cache, ResilientCache):
+            wrapped["memcached"] = ResilientCache(cache, injector=self.faults)
+        return wrapped
 
     @staticmethod
     def _stores_of(services: Optional[Dict[str, Any]]) -> List[Any]:

@@ -96,9 +96,10 @@ def execute_task(task: MeasurementSpec) -> FunctionMeasurement:
         from repro.obs.tracer import Tracer
 
         tracer = Tracer()
+    injector = task.faults.arm() if task.faults is not None else None
     harness = ExperimentHarness(isa=task.isa, scale=task.scale,
                                 platform_config=task.platform, seed=task.seed,
-                                tracer=tracer)
+                                tracer=tracer, faults=injector)
     measurement = harness.measure_function(function, services=services,
                                            requests=task.requests)
     if tracer is not None:
@@ -125,9 +126,10 @@ def run_measurement_matrix(
     Cache hits are filled in first; only the remaining points are
     simulated, serially for ``jobs <= 1`` and over a process pool
     otherwise.  The output is positionally aligned with ``tasks`` and
-    independent of worker count.  Traced specs bypass the cache in both
-    directions — a cached measurement carries no capture, and a capture
-    is an artifact of *this* run, not a content-addressed result.
+    independent of worker count.  Traced and faulted specs bypass the
+    cache in both directions — a cached measurement carries no capture,
+    and a chaos/trace run is an artifact of *this* experiment, not a
+    content-addressed result.
     """
     tasks = list(tasks)
     resolved_cache: Optional[ResultCache] = resolve_cache(cache)
@@ -136,7 +138,7 @@ def run_measurement_matrix(
 
     pending: List[int] = []
     for index, task in enumerate(tasks):
-        if resolved_cache is not None and not task.trace:
+        if resolved_cache is not None and not task.trace and task.faults is None:
             digests[index] = task_digest(task)
             hit = resolved_cache.get(digests[index])
             if hit is not None:

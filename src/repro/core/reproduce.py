@@ -94,9 +94,11 @@ def measure(
                 from repro.obs.tracer import Tracer
 
                 tracer = Tracer()
+            injector = spec.faults.arm() if spec.faults is not None else None
             harness = ExperimentHarness(isa=spec.isa, scale=spec.scale,
                                         platform_config=spec.platform,
-                                        seed=spec.seed, tracer=tracer)
+                                        seed=spec.seed, tracer=tracer,
+                                        faults=injector)
             measurement = harness.measure_function(
                 function, services=services_for(function),
                 requests=spec.requests)

@@ -22,7 +22,7 @@ from typing import Any, Dict, Optional
 from repro.core.scale import BENCH, SimScale
 
 _FIELDS = ("function", "isa", "time", "space", "seed", "db", "requests",
-           "platform", "trace")
+           "platform", "trace", "faults")
 
 
 class MeasurementSpec:
@@ -50,6 +50,12 @@ class MeasurementSpec:
         :class:`~repro.obs.Tracer` attached and the result carries a
         frozen trace capture (``measurement.trace``).  Traced specs
         bypass the result cache: a cached measurement has no capture.
+    ``faults``
+        Optional :class:`~repro.faults.FaultPlan`.  The worker arms a
+        fresh injector for the run, so faults and recovery are
+        deterministic per (plan, spec).  Faulted specs bypass the result
+        cache like traced ones — a chaos measurement is an experiment
+        artifact, not a canonical result.
     """
 
     __slots__ = _FIELDS
@@ -58,7 +64,7 @@ class MeasurementSpec:
                  scale: Optional[SimScale] = None,
                  time: Optional[int] = None, space: Optional[int] = None,
                  seed: int = 0, db: Optional[str] = None, requests: int = 10,
-                 platform=None, trace: bool = False):
+                 platform=None, trace: bool = False, faults=None):
         if scale is not None and (time is not None or space is not None):
             raise TypeError("pass scale= or time=/space=, not both")
         if scale is None:
@@ -80,6 +86,7 @@ class MeasurementSpec:
         set_field(self, "requests", requests)
         set_field(self, "platform", platform)
         set_field(self, "trace", bool(trace))
+        set_field(self, "faults", faults)
 
     # -- immutability ------------------------------------------------------
 
@@ -112,8 +119,11 @@ class MeasurementSpec:
     def _identity(self) -> tuple:
         platform = self.platform
         fingerprint = platform.fingerprint() if platform is not None else None
+        faults = self.faults
+        fault_fingerprint = faults.fingerprint() if faults is not None else None
         return (self.function, self.isa, self.time, self.space, self.seed,
-                self.db, self.requests, fingerprint, self.trace)
+                self.db, self.requests, fingerprint, self.trace,
+                fault_fingerprint)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MeasurementSpec):
@@ -136,6 +146,8 @@ class MeasurementSpec:
             parts.append("platform=%r" % self.platform)
         if self.trace:
             parts.append("trace=True")
+        if self.faults is not None:
+            parts.append("faults=%r" % self.faults)
         return "MeasurementSpec(%s)" % ", ".join(parts)
 
     # -- pickling (slots, no __dict__) -------------------------------------

@@ -68,6 +68,22 @@ class QemuVM:
         self.booted = False
         self.wall_seconds = 0.0
         self._function_locals: Dict[str, Dict[str, Any]] = {}
+        #: Optional :class:`repro.faults.FaultInjector`; boot paths then
+        #: consult the ``emu.disk`` hook site (guard-on-``None``).
+        self.faults = None
+        self.disk_faults = 0
+
+    #: Emulated cost of one transient disk error: the guest kernel's I/O
+    #: retry path (error, re-queue, re-read) before the block succeeds.
+    DISK_RETRY_INSTRUCTIONS = 5_000_000
+
+    def _maybe_disk_fault(self) -> float:
+        """Transient guest disk error: recovered by retry, costs time."""
+        faults = self.faults
+        if faults is None or not faults.should_fire("emu.disk"):
+            return 0.0
+        self.disk_faults += 1
+        return self.charge_instructions(self.DISK_RETRY_INSTRUCTIONS)
 
     @property
     def mips(self) -> float:
@@ -97,6 +113,7 @@ class QemuVM:
             )
         boot_instructions = 95_000_000 + len(self.disk.enabled_services()) * 12_000_000
         seconds = self.charge_instructions(boot_instructions)
+        seconds += self._maybe_disk_fault()
         self.booted = True
         return seconds
 
@@ -109,7 +126,7 @@ class QemuVM:
         self._require_booted()
         profile = store.boot_profile
         instructions = profile.instructions * (1.35 if profile.jvm else 1.0)
-        return self.charge_instructions(instructions)
+        return self.charge_instructions(instructions) + self._maybe_disk_fault()
 
     def _require_booted(self) -> None:
         if not self.booted:

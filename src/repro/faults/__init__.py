@@ -1,0 +1,60 @@
+"""repro.faults — seeded, deterministic fault injection and resilience.
+
+The paper's methodology measures the happy path; a production serverless
+substrate also has to survive the unhappy ones — failed container
+operations, stalled cold starts, crashing handlers, dropped RPCs, timed
+out datastores (Serv-Drishti models failure handling as a first-class
+part of serverless request simulation; Vitamin-V makes trustworthiness
+the headline requirement for RISC-V cloud stacks).  This package adds
+that dimension without giving up the repo's core invariant: **every run
+is bit-identical under its seed**.
+
+Three pieces:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — the immutable, picklable
+  description of *what* fails and *how often*, keyed by named hook
+  sites (:data:`FAULT_SITES`).  A plan travels on
+  :class:`~repro.core.spec.MeasurementSpec` exactly like ``trace=True``.
+* :class:`FaultInjector` — the armed runtime: each hook site keeps its
+  own draw counter, and decision ``k`` at site ``s`` is a pure hash of
+  ``(seed, s, k)``.  Call order across *different* sites therefore
+  cannot perturb outcomes — the property that makes faulted runs
+  reproducible under the parallel measurement engine.
+* :class:`RetryPolicy` / :class:`CircuitBreaker` /
+  :class:`ResilientCache` — the recovery half: bounded retries with
+  deterministic exponential backoff, a three-state breaker, and the
+  graceful-degradation wrapper that lets the hotel trio fall through to
+  the backing database when memcached is down.
+
+Every hook in the serverless/db/emu stacks guards on ``faults is None``
+— the same discipline as the tracer — so the disabled path allocates
+nothing and times identically to a build without this package.
+"""
+
+from repro.faults.plan import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.faults.policy import (
+    BreakerOpen,
+    CircuitBreaker,
+    ResilientCache,
+    RetryBudgetExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilientCache",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+]

@@ -1,0 +1,258 @@
+"""Resilience policies: retries, circuit breaking, graceful degradation.
+
+The recovery half of :mod:`repro.faults`.  Everything here is clocked in
+*logical ticks* or *operation counts* — never wall time — so recovery
+behaviour is as deterministic as the faults it recovers from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.faults.plan import _draw
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """All retry attempts (or the deadline budget) were exhausted."""
+
+    def __init__(self, label: str, attempts: int, last_error: BaseException):
+        super().__init__(
+            "%s failed after %d attempt(s): %s" % (label, attempts, last_error)
+        )
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff + jitter.
+
+    ``attempts`` is the total try budget (1 = no retries).  Retry ``n``
+    (1-based) backs off ``backoff_ticks * 2**(n-1)`` ticks plus a
+    deterministic jitter in ``[0, backoff_ticks)`` drawn from
+    ``(jitter_seed, label, n)`` — same label, same seed, same delays,
+    every run.  ``deadline_ticks`` caps the *summed* backoff: a retry
+    whose delay would cross the budget fails immediately instead
+    (timeout semantics).
+    """
+
+    def __init__(self, attempts: int = 3, backoff_ticks: int = 4,
+                 jitter_seed: int = 0, deadline_ticks: Optional[int] = None):
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if backoff_ticks < 0:
+            raise ValueError("backoff_ticks must be >= 0")
+        if deadline_ticks is not None and deadline_ticks < 0:
+            raise ValueError("deadline_ticks must be >= 0")
+        self.attempts = attempts
+        self.backoff_ticks = backoff_ticks
+        self.jitter_seed = jitter_seed
+        self.deadline_ticks = deadline_ticks
+
+    @classmethod
+    def from_plan(cls, plan) -> "RetryPolicy":
+        """The policy a :class:`~repro.faults.plan.FaultPlan` prescribes."""
+        return cls(attempts=plan.retry_attempts,
+                   backoff_ticks=plan.retry_backoff,
+                   jitter_seed=plan.seed,
+                   deadline_ticks=plan.retry_deadline)
+
+    def backoff_for(self, label: str, retry: int) -> int:
+        """Backoff ticks before 1-based retry ``retry`` of ``label``."""
+        if retry < 1:
+            raise ValueError("retry numbering is 1-based")
+        base = self.backoff_ticks * (2 ** (retry - 1))
+        if self.backoff_ticks == 0:
+            return 0
+        jitter = int(_draw(self.jitter_seed, "retry|%s" % label, retry)
+                     * self.backoff_ticks)
+        return base + jitter
+
+    def call(
+        self,
+        operation: Callable[[], Any],
+        label: str,
+        retry_on: Tuple[type, ...] = (Exception,),
+        advance: Optional[Callable[[int], Any]] = None,
+    ) -> Tuple[Any, int, int]:
+        """Run ``operation`` under the retry budget.
+
+        Returns ``(result, attempts_used, backoff_ticks_spent)``.
+        ``advance(ticks)`` (when given) is called with each backoff so
+        the caller's logical clock — platform clock, tracer — observes
+        the waiting.  Raises :class:`RetryBudgetExceeded` when the try
+        or deadline budget runs out.
+        """
+        spent = 0
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return operation(), attempt, spent
+            except retry_on as error:
+                last_error = error
+                if attempt == self.attempts:
+                    break
+                delay = self.backoff_for(label, attempt)
+                if (self.deadline_ticks is not None
+                        and spent + delay > self.deadline_ticks):
+                    raise RetryBudgetExceeded(label, attempt, error)
+                spent += delay
+                if advance is not None and delay:
+                    advance(delay)
+        assert last_error is not None
+        raise RetryBudgetExceeded(label, self.attempts, last_error)
+
+    def __repr__(self) -> str:
+        return "RetryPolicy(attempts=%d, backoff=%d, deadline=%s)" % (
+            self.attempts, self.backoff_ticks, self.deadline_ticks,
+        )
+
+
+class BreakerOpen(RuntimeError):
+    """The circuit breaker is open; the protected call was not made."""
+
+
+class CircuitBreaker:
+    """Three-state breaker (closed → open → half-open) on a logical clock.
+
+    ``failure_threshold`` consecutive failures trip it open; after
+    ``cooldown`` clock units it lets one probe through (half-open) — a
+    success closes it, a failure re-opens and restarts the cooldown.
+    The caller supplies the clock readings (operation counts, platform
+    clock, tracer ticks), keeping trips reproducible.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 16):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at = 0
+
+    def allow(self, now: int) -> bool:
+        """Whether a call may proceed at logical time ``now``."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN and now - self._opened_at >= self.cooldown:
+            self.state = self.HALF_OPEN
+            return True
+        return self.state == self.HALF_OPEN
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self, now: int) -> None:
+        self.consecutive_failures += 1
+        if (self.state == self.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            if self.state != self.OPEN:
+                self.trips += 1
+            self.state = self.OPEN
+            self._opened_at = now
+            self.consecutive_failures = 0
+
+    def __repr__(self) -> str:
+        return "CircuitBreaker(%s, %d trips)" % (self.state, self.trips)
+
+
+class ResilientCache:
+    """Memcached wrapper: injected timeouts, breaker, DB fall-through.
+
+    Mirrors the thesis's hotel architecture under failure: the cached
+    trio consults memcached first and the primary database on a miss —
+    so when memcached times out (site ``db.timeout``) or its breaker is
+    open, this wrapper *degrades to a miss* instead of erroring.  The
+    handler's existing miss path then serves from the backing DB with no
+    handler changes, exactly how production caches fail gracefully.
+
+    Writes during degradation are dropped (the DB stays authoritative).
+    The breaker is clocked by operation count, so trips and recoveries
+    are deterministic.  Fault metering is harvested per-request through
+    :meth:`take_fault_metrics`, symmetric with ``take_receipt``.
+    """
+
+    def __init__(self, cache, injector=None, breaker: Optional[CircuitBreaker] = None):
+        self.cache = cache
+        self.injector = injector
+        self.breaker = breaker or CircuitBreaker()
+        self._ops = 0
+        self._metrics: Dict[str, float] = {}
+
+    # -- degradation plumbing ---------------------------------------------
+
+    def _meter(self, key: str, amount: float = 1) -> None:
+        self._metrics[key] = self._metrics.get(key, 0) + amount
+
+    def _available(self) -> bool:
+        """One protected attempt: breaker gate plus injected timeout."""
+        self._ops += 1
+        if not self.breaker.allow(self._ops):
+            self._meter("fallbacks")
+            return False
+        injector = self.injector
+        if injector is not None and injector.should_fire("db.timeout"):
+            trips_before = self.breaker.trips
+            self.breaker.record_failure(self._ops)
+            self._meter("timeouts")
+            if self.breaker.trips > trips_before:
+                self._meter("breaker_trips")
+            self._meter("fallbacks")
+            return False
+        self.breaker.record_success()
+        return True
+
+    def take_fault_metrics(self) -> Dict[str, float]:
+        """Harvest (and reset) the degradation counters."""
+        harvested = self._metrics
+        self._metrics = {}
+        return harvested
+
+    @property
+    def breaker_state(self) -> str:
+        return self.breaker.state
+
+    # -- the memcached surface --------------------------------------------
+
+    def get(self, key: str):
+        if not self._available():
+            return None  # degrade to a miss: caller falls through to the DB
+        return self.cache.get(key)
+
+    def get_multi(self, keys) -> Dict[str, Any]:
+        if not self._available():
+            return {}
+        return self.cache.get_multi(keys)
+
+    def set(self, key: str, value, ttl: Optional[int] = None) -> None:
+        if not self._available():
+            return  # drop the write; the DB stays authoritative
+        self.cache.set(key, value, ttl=ttl)
+
+    def delete(self, key: str, quiet: bool = False) -> bool:
+        if not self._available():
+            return False
+        return self.cache.delete(key, quiet=quiet)
+
+    def take_receipt(self):
+        return self.cache.take_receipt()
+
+    def __getattr__(self, name):
+        # Reads of metering/introspection attributes (hit_rate, clock,
+        # tick, ...) pass through to the wrapped cache.
+        return getattr(self.cache, name)
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    def __repr__(self) -> str:
+        return "ResilientCache(%r, breaker=%s)" % (self.cache, self.breaker.state)

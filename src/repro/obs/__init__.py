@@ -37,6 +37,7 @@ from repro.obs.tracer import (
     TRACK_DISPATCH,
     TRACK_ENGINE,
     TRACK_EVENTQ,
+    TRACK_FAULTS,
     TRACK_FETCH,
     TRACK_INVOCATION,
     TRACK_ISSUE,
@@ -58,6 +59,7 @@ __all__ = [
     "TRACK_DISPATCH",
     "TRACK_ENGINE",
     "TRACK_EVENTQ",
+    "TRACK_FAULTS",
     "TRACK_FETCH",
     "TRACK_INVOCATION",
     "TRACK_ISSUE",

@@ -38,6 +38,7 @@ TRACK_COMMIT = 7
 TRACK_CACHE = 8
 TRACK_TLB = 9
 TRACK_EVENTQ = 10
+TRACK_FAULTS = 11
 
 #: Human names for the tracks, emitted as ``thread_name`` metadata.
 TRACK_NAMES = {
@@ -51,6 +52,7 @@ TRACK_NAMES = {
     TRACK_CACHE: "cache",
     TRACK_TLB: "tlb",
     TRACK_EVENTQ: "eventq",
+    TRACK_FAULTS: "faults",
 }
 
 #: Module-global count of events ever recorded by any tracer.  The

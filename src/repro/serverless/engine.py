@@ -81,6 +81,21 @@ class ContainerEngine:
         #: container ids come from a process-global counter and would
         #: break trace determinism).
         self.tracer = None
+        #: Optional :class:`repro.faults.FaultInjector`; lifecycle
+        #: operations then consult the ``engine.*`` hook sites and fail
+        #: with :class:`EngineError` when a fault fires.  Same
+        #: guard-on-``None`` discipline as the tracer: disabled means no
+        #: work at all.
+        self.faults = None
+
+    def _maybe_fault(self, op: str, container_name: str) -> None:
+        faults = self.faults
+        if faults is None:
+            return
+        if faults.should_fire("engine.%s" % op):
+            raise EngineError(
+                "injected engine fault: docker %s %s" % (op, container_name)
+            )
 
     def _trace_op(self, op: str, container_name: str) -> None:
         tracer = self.tracer
@@ -135,6 +150,7 @@ class ContainerEngine:
         image = self._local_images.get(image_name)
         if image is None:
             raise EngineError("no such image %r; docker pull it first" % image_name)
+        self._maybe_fault("create", name or image_name)
         container = Container(image, name=name, cpu_pin=cpu_pin)
         self._containers[container.name] = container
         self._trace_op("create", container.name)
@@ -144,6 +160,7 @@ class ContainerEngine:
         container = self._container(name)
         if container.running:
             raise EngineError("container %r already running" % name)
+        self._maybe_fault("start", name)
         container.state = "running"
         container.started_count += 1
         self._trace_op("start", container.name)
@@ -153,6 +170,7 @@ class ContainerEngine:
         container = self._container(name)
         if not container.running:
             raise EngineError("container %r is not running" % name)
+        self._maybe_fault("stop", name)
         container.state = "stopped"
         self._trace_op("stop", container.name)
         return container
@@ -161,6 +179,7 @@ class ContainerEngine:
         container = self._container(name)
         if container.running:
             raise EngineError("cannot remove running container %r" % name)
+        self._maybe_fault("remove", name)
         del self._containers[name]
         self._trace_op("remove", name)
 
@@ -182,7 +201,7 @@ class ContainerEngine:
         )
 
 
-def install_docker(arch: str, tracer=None) -> ContainerEngine:
+def install_docker(arch: str, tracer=None, faults=None) -> ContainerEngine:
     """Provision an engine the way the thesis had to per platform.
 
     On x86 the package manager provides Docker.  On RISC-V (as of the
@@ -192,4 +211,5 @@ def install_docker(arch: str, tracer=None) -> ContainerEngine:
     """
     engine = ContainerEngine(arch, installed_from_source=(arch == "riscv"))
     engine.tracer = tracer
+    engine.faults = faults
     return engine

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.db.engine import WorkReceipt, encoded_size
-from repro.obs.tracer import TRACK_INVOCATION
+from repro.faults.policy import RetryBudgetExceeded
+from repro.obs.tracer import TRACK_FAULTS, TRACK_INVOCATION
 from repro.serverless.engine import ContainerEngine, EngineError
 
 
@@ -201,7 +202,8 @@ class FaasPlatform:
 
     def __init__(self, engine: ContainerEngine,
                  policy: Optional[KeepAlivePolicy] = None,
-                 server_core: int = 1, tracer=None):
+                 server_core: int = 1, tracer=None, faults=None,
+                 retry_policy=None):
         self.engine = engine
         self.policy = policy or KeepAlivePolicy()
         self.server_core = server_core
@@ -212,6 +214,18 @@ class FaasPlatform:
         self.tracer = tracer
         if tracer is not None and engine.tracer is None:
             engine.tracer = tracer
+        #: Optional :class:`repro.faults.FaultInjector`; cold starts and
+        #: handler execution then consult the ``faas.*`` hook sites, and
+        #: recovery is governed by ``retry_policy``.  ``None`` (the
+        #: default) keeps every invocation on the exact pre-fault path.
+        self.faults = faults
+        if faults is not None and engine.faults is None:
+            engine.faults = faults
+        if retry_policy is None and faults is not None:
+            from repro.faults.policy import RetryPolicy
+
+            retry_policy = RetryPolicy.from_plan(faults.plan)
+        self.retry_policy = retry_policy
 
     # -- deployment -------------------------------------------------------------
 
@@ -256,25 +270,34 @@ class FaasPlatform:
         self.clock += advance_clock
         self._reap()
         tracer = self.tracer
+        faults = self.faults
+        fired_before = faults.snapshot() if faults is not None else None
         if tracer is not None:
             invoke_start = tracer.now
             tracer.advance(1)  # routing/queueing delay, one logical tick
             tracer.complete("queue", "invocation", invoke_start, 1,
                             TRACK_INVOCATION, args={"function": name})
         cold = instance.state == FunctionState.DEAD
+        cold_metrics: Dict[str, float] = {}
+        cold_failure: Optional[BaseException] = None
         if cold:
             instance.local = {}  # in-process state dies with the container
-            if tracer is not None:
-                boot_start = tracer.now
-                self._cold_start(instance)
-                boot_ticks = tracer.now - boot_start
-                tracer.complete("cold-boot", "invocation", boot_start,
-                                boot_ticks if boot_ticks > 0 else 1,
-                                TRACK_INVOCATION,
-                                args={"function": name,
-                                      "container": instance.container_name})
-            else:
-                self._cold_start(instance)
+            try:
+                if tracer is not None:
+                    boot_start = tracer.now
+                    cold_metrics = self._cold_start(instance)
+                    boot_ticks = tracer.now - boot_start
+                    tracer.complete("cold-boot", "invocation", boot_start,
+                                    boot_ticks if boot_ticks > 0 else 1,
+                                    TRACK_INVOCATION,
+                                    args={"function": name,
+                                          "container": instance.container_name})
+                else:
+                    cold_metrics = self._cold_start(instance)
+            except (EngineError, RetryBudgetExceeded) as failure:
+                if raise_errors:
+                    raise
+                cold_failure = failure
         instance.state = FunctionState.RUNNING
         if tracer is not None:
             exec_start = tracer.now
@@ -286,21 +309,38 @@ class FaasPlatform:
             request_bytes=encoded_size(payload),
             sequence=instance.invocations + 1,
         )
+        for key, amount in cold_metrics.items():
+            record.meter(key, amount)
         context = InvocationContext(record, instance.services, instance.local)
         # Drain any stale metering so the record sees only this request.
         for service_name, service in instance.services.items():
             if hasattr(service, "take_receipt"):
                 service.take_receipt()
-        try:
-            record.result = instance.handler(payload, context)
-        except Exception as failure:  # noqa: BLE001 - FaaS error surface
-            if raise_errors:
-                raise
-            record.error = "%s: %s" % (type(failure).__name__, failure)
+            if hasattr(service, "take_fault_metrics"):
+                service.take_fault_metrics()
+        if cold_failure is not None:
+            record.error = "%s: %s" % (type(cold_failure).__name__, cold_failure)
             record.result = {"error": record.error}
+        else:
+            try:
+                record.result = self._run_handler(instance, payload, context)
+            except Exception as failure:  # noqa: BLE001 - FaaS error surface
+                if raise_errors:
+                    raise
+                record.error = "%s: %s" % (type(failure).__name__, failure)
+                record.result = {"error": record.error}
         for service_name, service in instance.services.items():
             if hasattr(service, "take_receipt"):
                 record.attach_receipt(service_name, service.take_receipt())
+            if hasattr(service, "take_fault_metrics"):
+                for key, amount in service.take_fault_metrics().items():
+                    record.meter("resilience.%s.%s" % (service_name, key),
+                                 amount)
+        if fired_before is not None:
+            for site, count in faults.snapshot().items():
+                delta = count - fired_before.get(site, 0)
+                if delta:
+                    record.meter("faults.%s" % site, delta)
         record.response_bytes = encoded_size(record.result)
         if tracer is not None:
             # The handler ran functionally; detailed cycle attribution
@@ -335,8 +375,41 @@ class FaasPlatform:
                                   "sequence": record.sequence})
         return record
 
-    def _cold_start(self, instance: FunctionInstance) -> None:
-        container_name = "%s-run%d" % (instance.name, instance.cold_starts + 1)
+    def _advance_backoff(self, ticks: int) -> None:
+        """Let retry backoff elapse on the platform (and tracer) clock."""
+        self.clock += ticks
+        tracer = self.tracer
+        if tracer is not None:
+            start = tracer.now
+            tracer.advance(ticks)
+            tracer.complete("backoff", "fault", start, ticks, TRACK_FAULTS)
+
+    def _run_handler(self, instance: FunctionInstance,
+                     payload: Dict[str, Any],
+                     context: InvocationContext) -> Any:
+        faults = self.faults
+        if faults is None:
+            # Zero-overhead disabled path: the exact pre-fault call.
+            return instance.handler(payload, context)
+
+        def attempt() -> Any:
+            faults.maybe_raise("faas.handler")
+            return instance.handler(payload, context)
+
+        if self.retry_policy is None:
+            return attempt()
+        result, attempts, backoff = self.retry_policy.call(
+            attempt, "handler|%s" % instance.name,
+            retry_on=(Exception,), advance=self._advance_backoff,
+        )
+        if attempts > 1:
+            context.meter("retries.handler", attempts - 1)
+            context.meter("retries.backoff_ticks", backoff)
+        return result
+
+    def _boot_container(self, instance: FunctionInstance,
+                        container_name: str) -> None:
+        """create + start, never leaving a half-made container behind."""
         try:
             self.engine.create(instance.image_name, name=container_name,
                                cpu_pin=self.server_core)
@@ -345,22 +418,82 @@ class FaasPlatform:
             self.engine.pull(instance.image_name)
             self.engine.create(instance.image_name, name=container_name,
                                cpu_pin=self.server_core)
-        self.engine.start(container_name)
+        try:
+            self.engine.start(container_name)
+        except EngineError:
+            # Created but never started: remove the orphan so the engine's
+            # container table stays bounded and the next attempt starts
+            # from scratch.
+            try:
+                self.engine.remove(container_name)
+            except EngineError:
+                pass
+            raise
+
+    def _cold_start(self, instance: FunctionInstance) -> Dict[str, float]:
+        """Boot a container; returns cold-start metering for the record.
+
+        On failure (retry budget exhausted, or an unretried engine error)
+        the instance is left cleanly dead — no container name, nothing in
+        the engine's table — so the next invocation retries from scratch.
+        """
+        faults = self.faults
+        metrics: Dict[str, float] = {}
+        if faults is not None and faults.should_fire("faas.cold_start"):
+            # Injected provisioning stall: scheduler delay, image-layer
+            # fetch hiccup.  Elapses logical time, does not fail the boot.
+            stall = faults.ticks_for("faas.cold_start")
+            if stall:
+                self.clock += stall
+                tracer = self.tracer
+                if tracer is not None:
+                    start = tracer.now
+                    tracer.advance(stall)
+                    tracer.complete("cold-start-stall", "fault", start,
+                                    stall, TRACK_FAULTS,
+                                    args={"function": instance.name})
+                metrics["faults.stall_ticks"] = stall
+        container_name = "%s-run%d" % (instance.name, instance.cold_starts + 1)
+        if faults is not None and self.retry_policy is not None:
+            try:
+                _, attempts, backoff = self.retry_policy.call(
+                    lambda: self._boot_container(instance, container_name),
+                    "cold-start|%s" % instance.name,
+                    retry_on=(EngineError,), advance=self._advance_backoff,
+                )
+            except RetryBudgetExceeded:
+                instance.container_name = None
+                instance.state = FunctionState.DEAD
+                raise
+            if attempts > 1:
+                metrics["retries.cold_start"] = attempts - 1
+                metrics["retries.backoff_ticks"] = backoff
+        else:
+            self._boot_container(instance, container_name)
         instance.container_name = container_name
+        return metrics
 
     def _reap(self) -> None:
         for victim in self.policy.victims(list(self._functions.values()), self.clock):
             self.kill(victim.name)
 
     def kill(self, name: str) -> None:
-        """Force an instance to the dead state (provider reclaim)."""
+        """Force an instance to the dead state (provider reclaim).
+
+        Stop and remove are guarded *separately*: a stop failure (already
+        stopped, injected fault) must not skip the remove, or the engine's
+        container table grows one dead entry per recycle.
+        """
         instance = self.function(name)
         if instance.container_name is not None:
             try:
                 self.engine.stop(instance.container_name)
-                self.engine.remove(instance.container_name)
             except EngineError:
                 pass  # already stopped
+            try:
+                self.engine.remove(instance.container_name)
+            except EngineError:
+                pass  # already removed
             instance.container_name = None
         instance.state = FunctionState.DEAD
 

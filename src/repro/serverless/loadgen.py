@@ -73,8 +73,14 @@ class LoadGenerator:
         requests: int = 10,
         payload: Optional[Dict[str, Any]] = None,
         payload_factory: Optional[Callable[[int], Dict[str, Any]]] = None,
+        raise_errors: bool = True,
     ) -> RequestLog:
-        """Issue ``requests`` back-to-back invocations (cold first)."""
+        """Issue ``requests`` back-to-back invocations (cold first).
+
+        ``raise_errors=False`` turns handler crashes into error records
+        (``log.error_count``) instead of aborting the session — the mode
+        chaos experiments use.
+        """
         if requests < 1:
             raise ValueError("need at least one request")
         if payload is not None and payload_factory is not None:
@@ -82,7 +88,8 @@ class LoadGenerator:
         log = RequestLog()
         for sequence in range(requests):
             body = payload_factory(sequence) if payload_factory else (payload or {})
-            log.append(self.platform.invoke(function, body))
+            log.append(self.platform.invoke(function, body,
+                                            raise_errors=raise_errors))
         return log
 
     def open_loop_session(

@@ -45,6 +45,15 @@ class FunctionMetrics:
         self.cold_starts = 0
         self.errors = 0
         self.latencies: List[float] = []
+        #: Resilience counters harvested from ``record.metrics`` —
+        #: ``retries.*``, ``faults.*`` and ``resilience.*`` keys the
+        #: platform meters when a fault plan is armed.  Empty (and free)
+        #: on fault-less runs.
+        self.retries = 0.0
+        self.faults_injected = 0.0
+        self.timeouts = 0.0
+        self.fallbacks = 0.0
+        self.breaker_trips = 0.0
 
     def observe(self, record, latency: Optional[float] = None) -> None:
         self.invocations += 1
@@ -52,6 +61,19 @@ class FunctionMetrics:
         self.errors += not record.ok
         if latency is not None:
             self.latencies.append(latency)
+        for key, amount in getattr(record, "metrics", {}).items():
+            if key in ("retries.handler", "retries.cold_start"):
+                self.retries += amount
+            elif key.startswith("faults."):
+                self.faults_injected += amount
+            elif key.startswith("resilience."):
+                leaf = key.rsplit(".", 1)[-1]
+                if leaf == "timeouts":
+                    self.timeouts += amount
+                elif leaf == "fallbacks":
+                    self.fallbacks += amount
+                elif leaf == "breaker_trips":
+                    self.breaker_trips += amount
 
     @property
     def cold_rate(self) -> float:
@@ -60,6 +82,16 @@ class FunctionMetrics:
     @property
     def error_rate(self) -> float:
         return self.errors / self.invocations if self.invocations else 0.0
+
+    @property
+    def retry_rate(self) -> float:
+        """Retries per invocation (handler plus cold-start retries)."""
+        return self.retries / self.invocations if self.invocations else 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        """Injected datastore timeouts per invocation."""
+        return self.timeouts / self.invocations if self.invocations else 0.0
 
     def latency_percentile(self, fraction: float) -> float:
         return percentile(self.latencies, fraction)
@@ -115,4 +147,24 @@ class MetricsCollector:
             lines.append("%-30s %8d %6.1f%% %6.1f%% %10s %10s" % (
                 name, metrics.invocations, metrics.cold_rate * 100,
                 metrics.error_rate * 100, p50, p99))
+        return "\n".join(lines)
+
+    def render_resilience(self, breaker_states: Optional[Dict[str, str]] = None) -> str:
+        """The chaos dashboard: injected faults, retries, degradation.
+
+        ``breaker_states`` maps service name → breaker state (as read
+        from :attr:`~repro.faults.ResilientCache.breaker_state`) for the
+        trailing status line.
+        """
+        lines = ["%-30s %8s %8s %9s %9s %7s" % (
+            "function", "faults", "retries", "timeouts", "fallback", "trips")]
+        for name in self.functions():
+            metrics = self._functions[name]
+            lines.append("%-30s %8.0f %8.0f %9.0f %9.0f %7.0f" % (
+                name, metrics.faults_injected, metrics.retries,
+                metrics.timeouts, metrics.fallbacks, metrics.breaker_trips))
+        if breaker_states:
+            lines.append("breakers: " + ", ".join(
+                "%s=%s" % (service, state)
+                for service, state in sorted(breaker_states.items())))
         return "\n".join(lines)

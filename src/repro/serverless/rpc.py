@@ -59,6 +59,15 @@ class RpcChannel:
         self.requests_served = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        #: Optional :class:`repro.faults.FaultInjector`; calls then consult
+        #: the ``rpc.drop`` / ``rpc.latency`` hook sites.  Same
+        #: guard-on-``None`` discipline as everywhere else.
+        self.faults = None
+        #: Optional :class:`repro.obs.Tracer`; injected latency spikes
+        #: then appear as spans on the faults track.
+        self.tracer = None
+        self.drops = 0
+        self.latency_ticks = 0
 
     def register(self, method: str, handler: Callable[[Dict[str, Any]], Any]) -> None:
         if method in self._methods:
@@ -68,6 +77,30 @@ class RpcChannel:
     def call(self, method: str, payload: Optional[Dict[str, Any]] = None) -> RpcResponse:
         request = RpcRequest(method, payload)
         self.bytes_in += request.wire_bytes
+        faults = self.faults
+        if faults is not None:
+            if faults.should_fire("rpc.drop"):
+                # The request never reaches the server: the client sees
+                # UNAVAILABLE, the canonical retryable gRPC status.
+                self.drops += 1
+                response = RpcResponse(
+                    {"error": "injected drop on %s" % self.name},
+                    status="UNAVAILABLE",
+                )
+                self.bytes_out += response.wire_bytes
+                return response
+            if faults.should_fire("rpc.latency"):
+                ticks = faults.ticks_for("rpc.latency")
+                self.latency_ticks += ticks
+                tracer = self.tracer
+                if tracer is not None and ticks:
+                    from repro.obs.tracer import TRACK_FAULTS
+
+                    start = tracer.now
+                    tracer.advance(ticks)
+                    tracer.complete("rpc-latency-spike", "fault", start,
+                                    ticks, TRACK_FAULTS,
+                                    args={"method": method})
         handler = self._methods.get(method)
         if handler is None:
             raise RpcError("UNIMPLEMENTED: no method %r on %s" % (method, self.name))

@@ -76,12 +76,20 @@ class DramModel:
         return latency
 
     def state_dict(self) -> Dict:
-        return {"open_rows": dict(self._open_rows)}
+        # The controller queue (_last_access_cycle/_recent_accesses) is
+        # timing state: a restored run must observe the same clustering
+        # window a continuing run would, or restore-then-run diverges
+        # from checkpoint-then-run.
+        return {
+            "open_rows": dict(self._open_rows),
+            "last_access_cycle": self._last_access_cycle,
+            "recent_accesses": self._recent_accesses,
+        }
 
     def load_state(self, state: Dict) -> None:
         self._open_rows = dict(state["open_rows"])
-        self._last_access_cycle = -(10**9)
-        self._recent_accesses = 0
+        self._last_access_cycle = state.get("last_access_cycle", -(10**9))
+        self._recent_accesses = state.get("recent_accesses", 0)
 
     def __repr__(self) -> str:
         return "DramModel(%d banks, %dB rows)" % (self.banks, self.row_bytes)

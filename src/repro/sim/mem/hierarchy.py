@@ -196,14 +196,14 @@ class CoreMemSystem:
     # -- maintenance -------------------------------------------------------------
 
     def flush_all(self) -> None:
-        """Cold microarchitectural state: empty caches and TLBs."""
+        """Cold microarchitectural state: empty caches, TLBs, prefetchers."""
         self.l1i.flush()
         self.l1d.flush()
         self.l2.flush()
         self.itlb.flush()
         self.dtlb.flush()
-        self._iprefetcher.reset()
-        self._dprefetcher.reset()
+        self._iprefetcher.flush()
+        self._dprefetcher.flush()
 
     def state_dict(self) -> Dict:
         return {
@@ -212,6 +212,8 @@ class CoreMemSystem:
             "l2": self.l2.state_dict(),
             "itlb": self.itlb.state_dict(),
             "dtlb": self.dtlb.state_dict(),
+            "iprefetcher": self._iprefetcher.state_dict(),
+            "dprefetcher": self._dprefetcher.state_dict(),
         }
 
     def load_state(self, state: Dict) -> None:
@@ -220,6 +222,16 @@ class CoreMemSystem:
         self.l2.load_state(state["l2"])
         self.itlb.load_state(state["itlb"])
         self.dtlb.load_state(state["dtlb"])
+        # Checkpoints taken before prefetchers joined the state dict
+        # restore them as cold rather than erroring out.
+        if "iprefetcher" in state:
+            self._iprefetcher.load_state(state["iprefetcher"])
+        else:
+            self._iprefetcher.flush()
+        if "dprefetcher" in state:
+            self._dprefetcher.load_state(state["dprefetcher"])
+        else:
+            self._dprefetcher.flush()
 
     def __repr__(self) -> str:
         return "CoreMemSystem(core%d)" % self.core_id

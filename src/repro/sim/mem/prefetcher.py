@@ -21,15 +21,35 @@ PREFETCHER_KINDS = ("none", "nextline", "stride")
 
 
 class Prefetcher:
-    """Observe a demand miss; propose lines to fill."""
+    """Observe a demand miss; propose lines to fill.
+
+    Prefetchers follow the same maintenance protocol as caches and TLBs:
+    :meth:`flush` drops any trained state, and :meth:`state_dict` /
+    :meth:`load_state` round-trip it through checkpoints.  A trained
+    prefetcher changes fill timing, so leaving it out of either path
+    breaks checkpoint/restore timing determinism.
+    """
 
     kind = "none"
 
     def on_miss(self, pc: int, line: int) -> List[int]:
         return []
 
-    def reset(self) -> None:
+    def flush(self) -> None:
         pass
+
+    def reset(self) -> None:  # historical alias for flush
+        self.flush()
+
+    def state_dict(self) -> Dict:
+        return {"kind": self.kind}
+
+    def load_state(self, state: Dict) -> None:
+        if state.get("kind", self.kind) != self.kind:
+            raise ValueError(
+                "checkpoint prefetcher kind %r does not match %r"
+                % (state.get("kind"), self.kind)
+            )
 
 
 class NextLinePrefetcher(Prefetcher):
@@ -85,8 +105,23 @@ class StridePrefetcher(Prefetcher):
             self._table[pc] = (line, new_stride, False)
         return prefetches
 
-    def reset(self) -> None:
+    def flush(self) -> None:
         self._table.clear()
+
+    def state_dict(self) -> Dict:
+        # Insertion order is the table's FIFO replacement order, so the
+        # entry list must preserve it.
+        return {
+            "kind": self.kind,
+            "table": [(pc, entry) for pc, entry in self._table.items()],
+        }
+
+    def load_state(self, state: Dict) -> None:
+        super().load_state(state)
+        self._table = {
+            pc: (entry[0], entry[1], entry[2])
+            for pc, entry in state.get("table", [])
+        }
 
 
 def make_prefetcher(kind: str, degree: int) -> Prefetcher:

@@ -5,11 +5,31 @@ default (``repro.core.rescache``).  Tests must neither read a developer's
 warm cache (stale entries would mask simulator changes) nor pollute it,
 so the whole session is pointed at a throwaway directory.  Caching
 itself stays enabled — the cache layer is part of what the suite tests.
+
+Hypothesis runs under a pinned, derandomized profile so CI failures
+reproduce exactly on any machine: example generation derives from the
+test body alone, never a random seed or an example database.  Override
+with ``HYPOTHESIS_PROFILE=dev`` to explore fresh examples locally.
 """
 
 import os
 
 import pytest
+
+try:  # hypothesis is a test-only dependency; property tests skip without it
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        database=None,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", database=None, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover
+    pass
 
 
 @pytest.fixture(scope="session", autouse=True)

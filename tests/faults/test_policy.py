@@ -1,0 +1,165 @@
+"""RetryPolicy, CircuitBreaker and ResilientCache behaviour."""
+
+import pytest
+
+from repro.db import make_datastore
+from repro.db.memcached import MemcachedCache
+from repro.faults import (
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    ResilientCache,
+    RetryBudgetExceeded,
+    RetryPolicy,
+)
+
+
+class Flaky:
+    """Callable failing the first ``failures`` times."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError("boom #%d" % self.calls)
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_success_first_try_costs_nothing(self):
+        result, attempts, backoff = RetryPolicy().call(Flaky(0), "op")
+        assert (result, attempts, backoff) == ("ok", 1, 0)
+
+    def test_retries_until_success(self):
+        policy = RetryPolicy(attempts=3, backoff_ticks=4)
+        result, attempts, backoff = policy.call(Flaky(2), "op")
+        assert result == "ok"
+        assert attempts == 3
+        assert backoff == sum(policy.backoff_for("op", n) for n in (1, 2))
+
+    def test_budget_exhaustion_raises_with_last_error(self):
+        with pytest.raises(RetryBudgetExceeded) as caught:
+            RetryPolicy(attempts=2).call(Flaky(5), "op")
+        assert caught.value.attempts == 2
+        assert "boom #2" in str(caught.value.last_error)
+
+    def test_backoff_is_deterministic_and_exponential(self):
+        policy_a = RetryPolicy(attempts=5, backoff_ticks=4, jitter_seed=9)
+        policy_b = RetryPolicy(attempts=5, backoff_ticks=4, jitter_seed=9)
+        delays_a = [policy_a.backoff_for("label", n) for n in range(1, 5)]
+        delays_b = [policy_b.backoff_for("label", n) for n in range(1, 5)]
+        assert delays_a == delays_b
+        # base doubles each retry; jitter < backoff_ticks keeps ordering
+        for retry, delay in enumerate(delays_a, start=1):
+            base = 4 * 2 ** (retry - 1)
+            assert base <= delay < base + 4
+
+    def test_deadline_budget_caps_summed_backoff(self):
+        policy = RetryPolicy(attempts=10, backoff_ticks=8, deadline_ticks=10)
+        with pytest.raises(RetryBudgetExceeded) as caught:
+            policy.call(Flaky(99), "op")
+        assert caught.value.attempts < 10
+
+    def test_advance_observes_every_backoff(self):
+        ticks = []
+        policy = RetryPolicy(attempts=3, backoff_ticks=4)
+        policy.call(Flaky(2), "op", advance=ticks.append)
+        assert sum(ticks) == sum(policy.backoff_for("op", n) for n in (1, 2))
+
+    def test_from_plan(self):
+        plan = FaultPlan(seed=11, retry_attempts=5, retry_backoff=2,
+                         retry_deadline=64)
+        policy = RetryPolicy.from_plan(plan)
+        assert (policy.attempts, policy.backoff_ticks,
+                policy.jitter_seed, policy.deadline_ticks) == (5, 2, 11, 64)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=10)
+        for now in (1, 2):
+            breaker.record_failure(now)
+            assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(3)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(5)
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=4)
+        breaker.record_failure(0)
+        assert not breaker.allow(2)
+        assert breaker.allow(4)  # cooldown elapsed -> half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=4)
+        breaker.record_failure(0)
+        assert breaker.allow(4)
+        breaker.record_failure(4)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow(6)
+
+
+class TestResilientCache:
+    def make_cache(self, rate=1.0, **breaker_kwargs):
+        plan = FaultPlan(seed=0, specs=[FaultSpec("db.timeout", rate)])
+        breaker = CircuitBreaker(**breaker_kwargs) if breaker_kwargs else None
+        return ResilientCache(MemcachedCache(), injector=plan.arm(),
+                              breaker=breaker)
+
+    def test_passthrough_without_faults(self):
+        cache = ResilientCache(MemcachedCache())
+        cache.set("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.take_fault_metrics() == {}
+
+    def test_timeout_degrades_to_miss(self):
+        cache = self.make_cache(rate=1.0)
+        cache.cache.set("k", {"v": 1})  # populate the wrapped cache directly
+        assert cache.get("k") is None
+        assert cache.get_multi(["k"]) == {}
+        metrics = cache.take_fault_metrics()
+        assert metrics["timeouts"] == 2
+        assert metrics["fallbacks"] == 2
+
+    def test_degraded_writes_are_dropped(self):
+        cache = self.make_cache(rate=1.0)
+        cache.set("k", {"v": 1})
+        assert len(cache.cache) == 0
+
+    def test_breaker_trips_then_recovers(self):
+        cache = self.make_cache(rate=1.0, failure_threshold=2, cooldown=3)
+        for _ in range(2):
+            cache.get("k")
+        assert cache.breaker_state == CircuitBreaker.OPEN
+        assert cache.take_fault_metrics()["breaker_trips"] == 1
+
+    def test_fall_through_serves_from_backing_db(self):
+        """The graceful-degradation story end to end: memcached down,
+        the cached handler's miss path serves from the primary DB."""
+        from repro.workloads.hotel import HotelSuite, RateFunction
+
+        suite = HotelSuite(make_datastore("redis"))
+        function = RateFunction()
+        services = dict(suite.services_for(function))
+        assert "memcached" in services
+        plan = FaultPlan(seed=0, specs=[FaultSpec("db.timeout", 1.0)])
+        services["memcached"] = ResilientCache(services["memcached"],
+                                               injector=plan.arm())
+
+        from repro.serverless.faas import InvocationContext, InvocationRecord
+
+        record = InvocationRecord(function.name, "go", cold=True,
+                                  request_bytes=0, sequence=1)
+        context = InvocationContext(record, services, {})
+        result = function.handler(function.default_payload(0), context)
+        assert result  # served despite the cache being down
+        metrics = services["memcached"].take_fault_metrics()
+        assert metrics["fallbacks"] >= 1

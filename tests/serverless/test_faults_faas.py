@@ -1,0 +1,233 @@
+"""Fault injection through the FaaS stack + lifecycle bugfix regressions."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, RetryBudgetExceeded
+from repro.serverless.container import base_image
+from repro.serverless.engine import EngineError, install_docker
+from repro.serverless.faas import FaasPlatform, FunctionState, KeepAlivePolicy
+from repro.serverless.loadgen import LoadGenerator
+from repro.serverless.rpc import RpcChannel
+
+
+def make_platform(arch="riscv", policy=None, faults=None, retry_policy=None):
+    engine = install_docker(arch, faults=faults)
+    engine.registry.push(base_image("go", arch))
+    return FaasPlatform(engine, policy=policy, faults=faults,
+                        retry_policy=retry_policy)
+
+
+def echo_handler(payload, ctx):
+    return {"echo": payload}
+
+
+def crashing_handler(payload, ctx):
+    raise ValueError("handler bug")
+
+
+class TestKillLeakRegression:
+    def test_remove_runs_even_when_stop_raises(self):
+        """The historical leak: one try/except around stop+remove skipped
+        remove whenever stop raised, stranding a container per recycle."""
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        platform.invoke("fib")
+        # Stop the container out from under the platform so kill's stop
+        # raises "not running" — remove must still happen.
+        platform.engine.stop(platform.function("fib").container_name)
+        platform.kill("fib")
+        assert platform.engine.ps(all_states=True) == []
+        assert platform.function("fib").container_name is None
+
+    def test_container_table_stays_bounded_across_recycles(self):
+        platform = make_platform()
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        for cycle in range(25):
+            platform.invoke("fib")
+            if cycle % 2:  # alternate: externally-stopped and normal kills
+                platform.engine.stop(platform.function("fib").container_name)
+            platform.kill("fib")
+            assert len(platform.engine.ps(all_states=True)) <= 1
+        assert platform.engine.ps(all_states=True) == []
+
+    def test_crash_recycle_cycles_stay_bounded(self):
+        platform = make_platform()
+        platform.deploy("bad", "go-default", "go", crashing_handler)
+        for _ in range(10):
+            record = platform.invoke("bad", raise_errors=False)
+            assert not record.ok
+            assert len(platform.engine.ps(all_states=True)) <= 1
+        assert platform.engine.ps(all_states=True) == []
+
+
+class TestColdStartPartialFailure:
+    def test_start_failure_cleans_up_created_container(self):
+        """create succeeds, start fails: the half-made container must be
+        removed and the instance left cleanly dead."""
+        plan = FaultPlan(seed=0, specs=[FaultSpec("engine.start", 1.0)],
+                         retry_attempts=2)
+        platform = make_platform(faults=plan.arm())
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        with pytest.raises(RetryBudgetExceeded):
+            platform.invoke("fib")
+        instance = platform.function("fib")
+        assert instance.state == FunctionState.DEAD
+        assert instance.container_name is None
+        assert platform.engine.ps(all_states=True) == []
+
+    def test_cold_start_failure_as_error_record(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec("engine.start", 1.0)],
+                         retry_attempts=2)
+        platform = make_platform(faults=plan.arm())
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        record = platform.invoke("fib", raise_errors=False)
+        assert not record.ok
+        assert "RetryBudgetExceeded" in record.error
+        assert platform.state_of("fib") == FunctionState.DEAD
+        assert platform.engine.ps(all_states=True) == []
+
+    def test_next_invocation_retries_from_scratch(self):
+        plan = FaultPlan(seed=0,
+                         specs=[FaultSpec("engine.start", 1.0, max_fires=2)],
+                         retry_attempts=1)
+        platform = make_platform(faults=plan.arm())
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        for _ in range(2):
+            assert not platform.invoke("fib", raise_errors=False).ok
+        record = platform.invoke("fib")  # fault budget exhausted: clean boot
+        assert record.ok and record.cold
+
+    def test_transient_start_failure_recovered_by_retry(self):
+        plan = FaultPlan(seed=0,
+                         specs=[FaultSpec("engine.start", 1.0, max_fires=1)],
+                         retry_attempts=3)
+        platform = make_platform(faults=plan.arm())
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        record = platform.invoke("fib")
+        assert record.ok
+        assert record.metrics["retries.cold_start"] == 1
+        assert record.metrics["faults.engine.start"] == 1
+        assert len(platform.engine.ps()) == 1
+
+
+class TestRecycleAndEviction:
+    def test_handler_crash_recycles_instance_to_dead(self):
+        platform = make_platform()
+        platform.deploy("bad", "go-default", "go", crashing_handler)
+        record = platform.invoke("bad", raise_errors=False)
+        assert not record.ok
+        assert record.error.startswith("ValueError")
+        assert record.result == {"error": record.error}
+        assert platform.state_of("bad") == FunctionState.DEAD
+        assert platform.invoke("bad", raise_errors=False).cold
+
+    def test_overflow_evicts_oldest_last_used_first(self):
+        policy = KeepAlivePolicy(idle_timeout=1000, max_warm=2)
+        platform = make_platform(policy=policy)
+        for name in ("f1", "f2", "f3", "f4"):
+            platform.deploy(name, "go-default", "go", echo_handler)
+        platform.invoke("f1")  # last_used = 1
+        platform.invoke("f2")  # last_used = 2
+        platform.invoke("f3")  # f1 (oldest) evicted at clock 3
+        assert platform.state_of("f1") == FunctionState.DEAD
+        assert platform.state_of("f2") == FunctionState.WAITING
+        platform.invoke("f4")  # f2 now the oldest
+        assert platform.state_of("f2") == FunctionState.DEAD
+        assert platform.state_of("f3") == FunctionState.WAITING
+        assert platform.state_of("f4") == FunctionState.WAITING
+
+    def test_victim_ordering_is_oldest_first(self):
+        policy = KeepAlivePolicy(idle_timeout=1000, max_warm=1)
+        platform = make_platform(policy=policy)
+        instances = []
+        for index, name in enumerate(("a", "b", "c")):
+            instance = platform.deploy(name, "go-default", "go", echo_handler)
+            instance.state = FunctionState.WAITING
+            instance.last_used = 10 - index  # a newest, c oldest
+            instances.append(instance)
+        victims = policy.victims(instances, now=10)
+        assert [victim.name for victim in victims] == ["c", "b"]
+
+
+class TestInjectedCrashStatistics:
+    def test_request_log_error_count_and_cold_rate(self):
+        plan = FaultPlan(seed=2, specs=[FaultSpec("faas.handler", 0.4)],
+                         retry_attempts=1)  # no retries: every fire is a 500
+        platform = make_platform(faults=plan.arm())
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        log = LoadGenerator(platform).run_session("fib", requests=20, raise_errors=False)
+        errors = sum(1 for record in log if not record.ok)
+        assert log.error_count == errors
+        assert 0 < log.error_count < 20
+        # each crash recycles the instance, so the next request is cold
+        assert log.cold_count == 1 + sum(
+            1 for record in list(log)[:-1] if not record.ok)
+        assert log.cold_rate == log.cold_count / 20
+
+    def test_retries_recover_most_crashes(self):
+        plan = FaultPlan(seed=2, specs=[FaultSpec("faas.handler", 0.4)],
+                         retry_attempts=4)
+        platform = make_platform(faults=plan.arm())
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        log = LoadGenerator(platform).run_session("fib", requests=20, raise_errors=False)
+        retried = sum(record.metrics.get("retries.handler", 0)
+                      for record in log)
+        assert retried > 0
+        assert log.error_count < retried  # recovery beats failure
+
+    def test_crash_statistics_deterministic_across_runs(self):
+        def run():
+            plan = FaultPlan(seed=6, specs=[FaultSpec("faas.handler", 0.3)])
+            platform = make_platform(faults=plan.arm())
+            platform.deploy("fib", "go-default", "go", echo_handler)
+            log = LoadGenerator(platform).run_session("fib", requests=15, raise_errors=False)
+            return [(record.cold, record.ok, dict(record.metrics))
+                    for record in log]
+
+        assert run() == run()
+
+
+class TestRpcFaults:
+    def test_drop_returns_unavailable(self):
+        channel = RpcChannel("geo")
+        channel.register("near", lambda payload: {"hotels": []})
+        channel.faults = FaultPlan(
+            seed=0, specs=[FaultSpec("rpc.drop", 1.0, max_fires=1)]).arm()
+        dropped = channel.call("near")
+        assert dropped.status == "UNAVAILABLE"
+        assert channel.drops == 1
+        assert channel.call("near").ok  # budget spent; service recovers
+
+    def test_latency_spike_metered(self):
+        channel = RpcChannel("geo")
+        channel.register("near", lambda payload: {"hotels": []})
+        channel.faults = FaultPlan(
+            seed=0, specs=[FaultSpec("rpc.latency", 1.0, ticks=32,
+                                     max_fires=2)]).arm()
+        assert channel.call("near").ok
+        assert channel.latency_ticks == 32
+
+    def test_no_faults_no_overhead_fields_touched(self):
+        channel = RpcChannel("geo")
+        channel.register("near", lambda payload: {"hotels": []})
+        assert channel.call("near").ok
+        assert channel.drops == 0 and channel.latency_ticks == 0
+
+
+class TestEngineFaults:
+    def test_engine_sites_raise_engine_error(self):
+        plan = FaultPlan(seed=0, specs=[FaultSpec("engine.create", 1.0)])
+        engine = install_docker("riscv", faults=plan.arm())
+        engine.registry.push(base_image("go", "riscv"))
+        engine.pull("go-default")
+        with pytest.raises(EngineError, match="injected engine fault"):
+            engine.create("go-default")
+
+    def test_stall_elapses_platform_clock(self):
+        plan = FaultPlan(seed=0, specs=[
+            FaultSpec("faas.cold_start", 1.0, ticks=32, max_fires=1)])
+        platform = make_platform(faults=plan.arm())
+        platform.deploy("fib", "go-default", "go", echo_handler)
+        record = platform.invoke("fib")
+        assert record.metrics["faults.stall_ticks"] == 32
+        assert platform.clock == 1.0 + 32  # advance_clock + stall

@@ -88,7 +88,7 @@ def test_property_runs_are_deterministic(program):
     assert run_once() == run_once()
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=200, deadline=None)
 @given(program=ir_programs())
 def test_property_checkpoint_restores_timing_exactly(program):
     from repro.sim.checkpoint import restore_checkpoint, take_checkpoint
