@@ -1,5 +1,18 @@
-"""Result analysis and rendering utilities."""
+"""Result analysis and rendering: the paper's figures, in a terminal.
 
-from repro.analysis.charts import grouped_hbar_chart, sparkline
+ASCII charts let a reproduction run show each figure's *shape* — who
+wins, by roughly what factor — next to the numeric tables without any
+plotting dependency: grouped horizontal bars for the cold/warm/ISA
+comparisons (Fig 4.4 et al.), sparklines for sweep summaries, and
+:func:`serving_timeline` for a serve run's queue-depth / concurrency /
+pool-size history.  Everything renders deterministically from its
+inputs, so chart text participates in the byte-identity checks.
+"""
 
-__all__ = ["grouped_hbar_chart", "sparkline"]
+from repro.analysis.charts import (
+    grouped_hbar_chart,
+    serving_timeline,
+    sparkline,
+)
+
+__all__ = ["grouped_hbar_chart", "serving_timeline", "sparkline"]

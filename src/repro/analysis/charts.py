@@ -83,6 +83,51 @@ def sparkline(values: Iterable[float]) -> str:
     )
 
 
+def serving_timeline(samples: Sequence[Sequence[int]], width: int = 60) -> str:
+    """Queue depth, in-flight demand and pool size over a serve run.
+
+    ``samples`` is the ``ServeResult.samples`` list — ``(tick, queue,
+    in_flight, instances)`` tuples recorded on every state change.  Each
+    signal is resampled onto ``width`` time bins (peak-preserving: a bin
+    shows the maximum the step signal reached inside it, so one-tick
+    queue spikes stay visible) and rendered as a sparkline row.  Purely
+    a function of its input: byte-identical for byte-identical runs.
+    """
+    if not samples:
+        raise ValueError("no samples to chart")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    start = samples[0][0]
+    span = max(1, samples[-1][0] - start)
+    rows = (("queue", 1), ("in-flight", 2), ("instances", 3))
+    lines = []
+    for name, column in rows:
+        series = _resample_max(
+            [(sample[0], sample[column]) for sample in samples],
+            start, span, width)
+        lines.append("%-10s %s  peak %d" % (
+            name, sparkline(series), int(max(series))))
+    lines.append("%-10s ticks %d..%d" % ("", start, start + span))
+    return "\n".join(lines)
+
+
+def _resample_max(points: List, start: int, span: int, width: int) -> List[float]:
+    """Peak-preserving resample of a step signal onto ``width`` bins."""
+    bins = [0.0] * width
+    value = float(points[0][1])
+    index = 0
+    for position in range(width):
+        high = start + span * (position + 1) / float(width)
+        best = value  # the signal carries its last level into the bin
+        while index < len(points) and points[index][0] < high:
+            value = float(points[index][1])
+            if value > best:
+                best = value
+            index += 1
+        bins[position] = best
+    return bins
+
+
 def _format_value(value: float, unit: str) -> str:
     if value >= 1e9:
         text = "%.2fG" % (value / 1e9)

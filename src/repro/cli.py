@@ -8,6 +8,7 @@
     python -m repro suite hotel --isa riscv --db cassandra
     python -m repro trace fibonacci --isa riscv64 --out trace.json
     python -m repro chaos fibonacci-go --isa riscv --fault-seed 7
+    python -m repro serve fibonacci --profile burst --rps 100
     python -m repro sizes --arch riscv
     python -m repro dse fibonacci-python --axis l2_size=131072,524288
     python -m repro dbcompare
@@ -346,6 +347,71 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a trace-driven open-loop workload on an autoscaled pool.
+
+    Unlike ``measure`` (one instance, ten requests, cycle-accurate), this
+    drives a seeded arrival trace through the multi-instance router so
+    the service-level behaviour shows: queueing, admission control,
+    panic-mode scale-ups, cold-start storms, sojourn-time tails.  Fully
+    deterministic — two runs with the same seed print identical reports.
+    """
+    import json
+
+    from repro.serverless.engine import install_docker
+    from repro.serverless.loadgen import arrival_ticks
+    from repro.serverless.metrics import MetricsCollector
+    from repro.serverless.router import Router
+    from repro.serverless.scaler import ScalingConfig
+
+    function = _resolve_function(args.function)
+    services: Dict[str, Any] = {}
+    if function.suite == "hotel":
+        if not args.db:
+            raise SystemExit(
+                "%s needs a database; pass --db (cassandra/mongodb/...)"
+                % function.name)
+        services = _hotel_services(args.db).services_for(function)
+    engine = install_docker(args.isa)
+    engine.registry.push(function.image(args.isa))
+    scaling = ScalingConfig(
+        target_concurrency=args.target_concurrency,
+        min_instances=args.min_instances,
+        max_instances=args.max_instances,
+        queue_capacity=args.queue_capacity,
+    )
+    router = Router(engine, seed=args.seed)
+    router.deploy(function.name, function.name, function.runtime_name,
+                  function.handler, services=services, scaling=scaling)
+    arrivals = arrival_ticks(args.profile, rps=args.rps,
+                             requests=args.requests, seed=args.seed)
+    result = router.serve(function.name, arrivals,
+                          payload_factory=function.default_payload)
+
+    print("%s on simulated %s: %s arrivals, %g rps, %d requests (seed %d)" % (
+        function.name, args.isa, args.profile, args.rps, args.requests,
+        args.seed))
+    print(result.summary())
+    print()
+    print("scaling events:")
+    print(result.event_log() or "  (none)")
+    collector = MetricsCollector()
+    collector.observe_all(result.records)
+    print()
+    print(collector.render_serving())
+    if result.samples:
+        from repro.analysis.charts import serving_timeline
+
+        print()
+        print(serving_timeline(result.samples))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+        print()
+        print("serve artifact written to %s" % args.out)
+    return 0
+
+
 def cmd_lukewarm(args) -> int:
     """Print the cold/warm/lukewarm triple for a function."""
     harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
@@ -531,6 +597,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
+    serve = sub.add_parser(
+        "serve", help="autoscaled multi-instance serving under open-loop load")
+    serve.add_argument("function")
+    serve.add_argument("--isa", default="riscv", type=_normalize_isa,
+                       help="riscv/x86/arm (vendor spellings accepted)")
+    serve.add_argument("--profile", default="poisson",
+                       choices=("poisson", "burst", "diurnal"),
+                       help="arrival-trace shape (default poisson)")
+    serve.add_argument("--rps", type=float, default=100.0,
+                       help="mean request rate per 1000 ticks (default 100)")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="arrivals to generate (default 200)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="trace + service-jitter seed: same seed, "
+                            "byte-identical run")
+    serve.add_argument("--target-concurrency", type=int, default=2,
+                       help="requests one instance serves at once (default 2)")
+    serve.add_argument("--min-instances", type=int, default=0,
+                       help="pool floor; 0 enables scale-to-zero (default 0)")
+    serve.add_argument("--max-instances", type=int, default=8,
+                       help="pool ceiling (default 8)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="bounded queue; overflow is rejected (default 64)")
+    serve.add_argument("--db", default=None,
+                       help="datastore for hotel-suite functions")
+    serve.add_argument("--out", default=None,
+                       help="write records/events/samples as JSON")
+    serve.set_defaults(func=cmd_serve)
+
     lukewarm = sub.add_parser("lukewarm",
                               help="cold/warm/lukewarm triple for a function")
     lukewarm.add_argument("function")
@@ -583,7 +678,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # The stdout reader went away (`repro ... | head`); exit quietly
+        # with the conventional SIGPIPE status instead of a traceback.
+        # Point stdout at devnull so interpreter teardown's flush of the
+        # dead pipe cannot raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":

@@ -12,9 +12,12 @@ experiment protocol of §4.1.2 / Fig 4.1:
    stats, measure request 1 (cold), functionally warm requests 2–9, reset
    stats, measure request 10 (warm).
 
-Entry points: :class:`~repro.core.harness.ExperimentHarness` for single
-functions, :func:`~repro.core.harness.run_suite` for batches, and
-:mod:`repro.core.config` for the Table 4.1–4.3 platform configurations.
+Entry points: build a :class:`~repro.core.spec.MeasurementSpec` and
+call :func:`~repro.core.reproduce.measure` (single functions and suite
+aliases alike, parallel + cached); :class:`~repro.core.harness.ExperimentHarness`
+is the underlying single-measurement driver and
+:mod:`repro.core.config` holds the Table 4.1–4.3 platform
+configurations.
 """
 
 from repro.core.config import (
@@ -39,16 +42,20 @@ from repro.core.parallel import (
     run_measurement_matrix,
 )
 from repro.core.persist import load_measurements, save_measurements
+from repro.core.reproduce import measure
 from repro.core.rescache import ResultCache
 from repro.core.results import MeasurementTable
 from repro.core.scale import BENCH, NATIVE, SimScale, TEST
+from repro.core.spec import MeasurementSpec
 
 __all__ = [
     "BENCH",
     "ExperimentHarness",
     "FunctionMeasurement",
+    "MeasurementSpec",
     "MeasurementTable",
     "MeasurementTask",
+    "measure",
     "NATIVE",
     "PlatformConfig",
     "RISCV_PLATFORM",

@@ -52,6 +52,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 def task_digest(task: MeasurementSpec) -> str:
     """Content address of a spec for the result cache."""
     platform = task.platform or platform_for(task.isa)
+    scaling = getattr(task, "scaling", None)
     return measurement_digest(
         function=task.function,
         isa=task.isa,
@@ -61,6 +62,7 @@ def task_digest(task: MeasurementSpec) -> str:
         fingerprint=platform.fingerprint(),
         db=task.db,
         requests=task.requests,
+        scaling=scaling.fingerprint() if scaling is not None else None,
     )
 
 

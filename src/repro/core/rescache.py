@@ -67,12 +67,16 @@ def measurement_digest(
     fingerprint: Any,
     db: Optional[str] = None,
     requests: int = 10,
+    scaling: Any = None,
 ) -> str:
     """Content address of one measurement.
 
     ``fingerprint`` is the platform's microarchitectural identity
     (:meth:`repro.core.config.PlatformConfig.fingerprint`), so a DSE
-    design point and the stock platform never collide.
+    design point and the stock platform never collide.  ``scaling`` is
+    the :meth:`~repro.serverless.scaler.ScalingConfig.fingerprint` tuple
+    of a serving experiment; it extends the key *only when set*, so every
+    digest minted before the serving layer existed stays valid.
     """
     from repro import __version__
 
@@ -80,6 +84,8 @@ def measurement_digest(
         CODE_SALT, __version__, function, isa, int(time_scale),
         int(space_scale), int(seed), int(requests), db or "", fingerprint,
     )
+    if scaling is not None:
+        key = key + (scaling,)
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 

@@ -22,7 +22,7 @@ from typing import Any, Dict, Optional
 from repro.core.scale import BENCH, SimScale
 
 _FIELDS = ("function", "isa", "time", "space", "seed", "db", "requests",
-           "platform", "trace", "faults")
+           "platform", "trace", "faults", "scaling")
 
 
 class MeasurementSpec:
@@ -56,6 +56,13 @@ class MeasurementSpec:
         deterministic per (plan, spec).  Faulted specs bypass the result
         cache like traced ones — a chaos measurement is an experiment
         artifact, not a canonical result.
+    ``scaling``
+        Optional :class:`~repro.serverless.scaler.ScalingConfig` for
+        serving experiments (`python -m repro serve`).  Part of spec
+        identity and of the result-cache key: two serve runs with
+        different autoscaler knobs must never share a content address.
+        ``None`` — the default, and the only value measurement entry
+        points produce — keeps identity and digests exactly as before.
     """
 
     __slots__ = _FIELDS
@@ -64,7 +71,8 @@ class MeasurementSpec:
                  scale: Optional[SimScale] = None,
                  time: Optional[int] = None, space: Optional[int] = None,
                  seed: int = 0, db: Optional[str] = None, requests: int = 10,
-                 platform=None, trace: bool = False, faults=None):
+                 platform=None, trace: bool = False, faults=None,
+                 scaling=None):
         if scale is not None and (time is not None or space is not None):
             raise TypeError("pass scale= or time=/space=, not both")
         if scale is None:
@@ -87,6 +95,7 @@ class MeasurementSpec:
         set_field(self, "platform", platform)
         set_field(self, "trace", bool(trace))
         set_field(self, "faults", faults)
+        set_field(self, "scaling", scaling)
 
     # -- immutability ------------------------------------------------------
 
@@ -121,9 +130,12 @@ class MeasurementSpec:
         fingerprint = platform.fingerprint() if platform is not None else None
         faults = self.faults
         fault_fingerprint = faults.fingerprint() if faults is not None else None
+        scaling = self.scaling
+        scaling_fingerprint = (scaling.fingerprint()
+                               if scaling is not None else None)
         return (self.function, self.isa, self.time, self.space, self.seed,
                 self.db, self.requests, fingerprint, self.trace,
-                fault_fingerprint)
+                fault_fingerprint, scaling_fingerprint)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MeasurementSpec):
@@ -148,6 +160,8 @@ class MeasurementSpec:
             parts.append("trace=True")
         if self.faults is not None:
             parts.append("faults=%r" % self.faults)
+        if self.scaling is not None:
+            parts.append("scaling=%r" % self.scaling)
         return "MeasurementSpec(%s)" % ", ".join(parts)
 
     # -- pickling (slots, no __dict__) -------------------------------------
@@ -157,4 +171,5 @@ class MeasurementSpec:
 
     def __setstate__(self, state):
         for name in _FIELDS:
-            object.__setattr__(self, name, state[name])
+            # .get(): states pickled before a field existed load as None.
+            object.__setattr__(self, name, state.get(name))

@@ -31,6 +31,8 @@ class TableSchema:
 
 
 class _Table:
+    """Row storage for one schema: a list plus a primary-key index."""
+
     __slots__ = ("schema", "rows", "pk_index")
 
     def __init__(self, schema: TableSchema):

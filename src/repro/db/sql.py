@@ -67,6 +67,8 @@ def tokenize(text: str) -> List[Tuple[str, str]]:
 
 
 class _Parser:
+    """Recursive-descent parser over the tokenizer's (kind, text) stream."""
+
     def __init__(self, tokens: List[Tuple[str, str]]):
         self.tokens = tokens
         self.position = 0

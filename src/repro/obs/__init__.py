@@ -43,6 +43,7 @@ from repro.obs.tracer import (
     TRACK_ISSUE,
     TRACK_NAMES,
     TRACK_PIPELINE,
+    TRACK_SCALING,
     TRACK_TLB,
     Span,
     Tracer,
@@ -65,6 +66,7 @@ __all__ = [
     "TRACK_ISSUE",
     "TRACK_NAMES",
     "TRACK_PIPELINE",
+    "TRACK_SCALING",
     "TRACK_TLB",
     "Tracer",
     "chrome_trace",

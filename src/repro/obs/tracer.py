@@ -39,6 +39,7 @@ TRACK_CACHE = 8
 TRACK_TLB = 9
 TRACK_EVENTQ = 10
 TRACK_FAULTS = 11
+TRACK_SCALING = 12
 
 #: Human names for the tracks, emitted as ``thread_name`` metadata.
 TRACK_NAMES = {
@@ -53,6 +54,7 @@ TRACK_NAMES = {
     TRACK_TLB: "tlb",
     TRACK_EVENTQ: "eventq",
     TRACK_FAULTS: "faults",
+    TRACK_SCALING: "scaling",
 }
 
 #: Module-global count of events ever recorded by any tracer.  The

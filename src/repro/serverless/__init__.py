@@ -15,7 +15,12 @@ provides:
   §2.1,
 * :mod:`repro.serverless.rpc` — the gRPC-like request/response layer,
 * :mod:`repro.serverless.loadgen` — the client that drives the
-  10-request experiment protocol from core 0.
+  10-request experiment protocol from core 0, plus seeded trace-driven
+  open-loop arrival generation (:func:`arrival_ticks`),
+* :mod:`repro.serverless.scaler` / :mod:`repro.serverless.router` — the
+  serving layer: per-function instance pools behind a bounded queue with
+  admission control, scaled by a Knative-style concurrency autoscaler
+  (``python -m repro serve``).
 """
 
 from repro.serverless.container import ContainerImage, ImageLayer, ImageRegistry
@@ -27,11 +32,24 @@ from repro.serverless.faas import (
     InvocationRecord,
     KeepAlivePolicy,
 )
-from repro.serverless.loadgen import LoadGenerator, RequestLog
+from repro.serverless.loadgen import LoadGenerator, RequestLog, arrival_ticks
 from repro.serverless.metrics import FunctionMetrics, MetricsCollector
+from repro.serverless.router import FunctionPool, Router, ServeResult
 from repro.serverless.rpc import RpcChannel, RpcError, RpcRequest, RpcResponse
+from repro.serverless.scaler import (
+    ConcurrencyAutoscaler,
+    ScalingConfig,
+    ScalingEvent,
+)
 
 __all__ = [
+    "ConcurrencyAutoscaler",
+    "FunctionPool",
+    "Router",
+    "ScalingConfig",
+    "ScalingEvent",
+    "ServeResult",
+    "arrival_ticks",
     "Container",
     "ContainerEngine",
     "ContainerImage",

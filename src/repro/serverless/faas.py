@@ -148,6 +148,33 @@ class InvocationContext:
 Handler = Callable[[Dict[str, Any], InvocationContext], Any]
 
 
+def drain_service_meters(services: Dict[str, Any]) -> None:
+    """Discard stale service metering so a record sees only its request.
+
+    Shared between :class:`FaasPlatform` and the serving router
+    (:mod:`repro.serverless.router`): both must reset every bound
+    service's receipt and fault counters immediately before running a
+    handler, or metering from a previous invocation leaks into this one.
+    """
+    for service in services.values():
+        if hasattr(service, "take_receipt"):
+            service.take_receipt()
+        if hasattr(service, "take_fault_metrics"):
+            service.take_fault_metrics()
+
+
+def harvest_service_meters(record: InvocationRecord,
+                           services: Dict[str, Any]) -> None:
+    """Attach each service's receipt and fault counters to ``record``."""
+    for service_name, service in services.items():
+        if hasattr(service, "take_receipt"):
+            record.attach_receipt(service_name, service.take_receipt())
+        if hasattr(service, "take_fault_metrics"):
+            for key, amount in service.take_fault_metrics().items():
+                record.meter("resilience.%s.%s" % (service_name, key),
+                             amount)
+
+
 class KeepAlivePolicy:
     """Evicts waiting instances: idle timeout plus a warm-pool cap."""
 
@@ -312,12 +339,7 @@ class FaasPlatform:
         for key, amount in cold_metrics.items():
             record.meter(key, amount)
         context = InvocationContext(record, instance.services, instance.local)
-        # Drain any stale metering so the record sees only this request.
-        for service_name, service in instance.services.items():
-            if hasattr(service, "take_receipt"):
-                service.take_receipt()
-            if hasattr(service, "take_fault_metrics"):
-                service.take_fault_metrics()
+        drain_service_meters(instance.services)
         if cold_failure is not None:
             record.error = "%s: %s" % (type(cold_failure).__name__, cold_failure)
             record.result = {"error": record.error}
@@ -329,13 +351,7 @@ class FaasPlatform:
                     raise
                 record.error = "%s: %s" % (type(failure).__name__, failure)
                 record.result = {"error": record.error}
-        for service_name, service in instance.services.items():
-            if hasattr(service, "take_receipt"):
-                record.attach_receipt(service_name, service.take_receipt())
-            if hasattr(service, "take_fault_metrics"):
-                for key, amount in service.take_fault_metrics().items():
-                    record.meter("resilience.%s.%s" % (service_name, key),
-                                 amount)
+        harvest_service_meters(record, instance.services)
         if fired_before is not None:
             for site, count in faults.snapshot().items():
                 delta = count - fired_before.get(site, 0)

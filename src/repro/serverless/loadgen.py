@@ -4,13 +4,94 @@ The thesis's protocol (Fig 4.1) sends ten requests per function: the
 first hits a dead instance (cold), requests 2–9 warm it, and the tenth is
 the warm measurement.  :class:`LoadGenerator` drives that sequence and
 keeps a :class:`RequestLog` of invocation records.
+
+For the serving layer (:mod:`repro.serverless.router`) this module also
+generates **trace-driven open-loop arrivals**: :func:`arrival_ticks`
+turns a profile name (``poisson`` / ``burst`` / ``diurnal``), a request
+rate and the run's seed into a deterministic list of integer arrival
+ticks via Poisson thinning — no wall clock anywhere, so the same seed
+always yields byte-identical traffic.
 """
 
 from __future__ import annotations
 
+import math
+import random
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.serverless.faas import FaasPlatform, InvocationRecord
+
+#: The logical-tick resolution arrival traces are generated at: ``--rps``
+#: on the CLI means requests per 1000 ticks.
+TICKS_PER_SECOND = 1000
+
+#: Burst (on/off square wave) profile shape: each period opens with a
+#: concentrated on-window carrying the whole period's traffic.
+BURST_PERIOD_TICKS = 2000
+BURST_ON_TICKS = 400
+
+#: Diurnal profile: one compressed "day" of sinusoidal rate modulation.
+DIURNAL_PERIOD_TICKS = 20000
+DIURNAL_SWING = 0.9
+
+#: Valid ``profile`` arguments for :func:`arrival_ticks` (and the CLI).
+ARRIVAL_PROFILES = ("poisson", "burst", "diurnal")
+
+
+def arrival_ticks(profile: str = "poisson", rps: float = 50.0,
+                  requests: int = 100, seed: int = 0) -> List[int]:
+    """A deterministic open-loop arrival trace, as integer ticks.
+
+    ``profile`` selects the rate function λ(t):
+
+    * ``poisson`` — constant λ; the memoryless baseline.
+    * ``burst`` — on/off square wave: each :data:`BURST_PERIOD_TICKS`
+      window concentrates all its traffic in the opening
+      :data:`BURST_ON_TICKS`, so the instantaneous on-rate is
+      ``period/on`` × the mean rate — the shape that drives panic-mode
+      scale-ups and cold-start storms.
+    * ``diurnal`` — sinusoidal modulation over a compressed "day"
+      (:data:`DIURNAL_PERIOD_TICKS`), the slow swell real traffic shows.
+
+    Arrivals are drawn by thinning a homogeneous Poisson process at the
+    profile's peak rate, so every draw comes from one seeded
+    ``random.Random`` — same seed, same trace, byte for byte.  The mean
+    rate of every profile is ``rps`` requests per
+    :data:`TICKS_PER_SECOND` ticks.
+    """
+    if requests < 1:
+        raise ValueError("need at least one request")
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    base = rps / float(TICKS_PER_SECOND)
+    if profile == "poisson":
+        peak = base
+
+        def rate(_tick: float) -> float:
+            return base
+    elif profile == "burst":
+        boost = BURST_PERIOD_TICKS / float(BURST_ON_TICKS)
+        peak = base * boost
+
+        def rate(tick: float) -> float:
+            return peak if tick % BURST_PERIOD_TICKS < BURST_ON_TICKS else 0.0
+    elif profile == "diurnal":
+        peak = base * (1.0 + DIURNAL_SWING)
+
+        def rate(tick: float) -> float:
+            phase = 2.0 * math.pi * tick / DIURNAL_PERIOD_TICKS
+            return base * (1.0 + DIURNAL_SWING * math.sin(phase))
+    else:
+        raise ValueError("unknown arrival profile %r (choose from %s)"
+                         % (profile, ", ".join(ARRIVAL_PROFILES)))
+    rng = random.Random((seed * 0x9E3779B1) ^ 0x5EED)
+    ticks: List[int] = []
+    clock = 0.0
+    while len(ticks) < requests:
+        clock += rng.expovariate(peak)
+        if rng.random() * peak <= rate(clock):
+            ticks.append(int(clock))
+    return ticks
 
 
 class RequestLog:
@@ -99,6 +180,7 @@ class LoadGenerator:
         mean_interarrival: float,
         payload: Optional[Dict[str, Any]] = None,
         seed: int = 0,
+        service_ticks: float = 0.0,
     ) -> RequestLog:
         """Poisson arrivals: the production traffic shape (§2.1).
 
@@ -107,19 +189,40 @@ class LoadGenerator:
         keep-alive policy reap the instance between requests — the
         mechanism behind real-world cold-start rates (the Azure-trace
         observation the related work measures).
+
+        Open-loop means arrivals do not wait for the previous request:
+        when a gap is shorter than the single instance's ``service_ticks``
+        the new request *queues*, and the wait it accrues is reported
+        separately from service time — ``timing.queue_ticks``,
+        ``timing.service_ticks`` and ``timing.sojourn_ticks`` meters on
+        each :class:`~repro.serverless.faas.InvocationRecord` — so
+        sojourn-time percentiles can be computed without conflating the
+        two (they used to be folded together).  The default
+        ``service_ticks=0`` models an infinitely fast server: no queueing,
+        the historical behaviour, byte for byte.
         """
         if requests < 1:
             raise ValueError("need at least one request")
         if mean_interarrival <= 0:
             raise ValueError("mean_interarrival must be positive")
-        import random
-
+        if service_ticks < 0:
+            raise ValueError("service_ticks must be >= 0")
         rng = random.Random(seed)
         log = RequestLog()
+        arrival = 0.0
+        free_at = 0.0
         for _ in range(requests):
             gap = rng.expovariate(1.0 / mean_interarrival)
-            log.append(self.platform.invoke(function, payload or {},
-                                            advance_clock=gap))
+            arrival += gap
+            start = arrival if arrival > free_at else free_at
+            queue_delay = start - arrival
+            free_at = start + service_ticks
+            record = self.platform.invoke(function, payload or {},
+                                          advance_clock=gap)
+            record.meter("timing.queue_ticks", queue_delay)
+            record.meter("timing.service_ticks", service_ticks)
+            record.meter("timing.sojourn_ticks", queue_delay + service_ticks)
+            log.append(record)
         return log
 
     def interleaved_session(

@@ -54,6 +54,13 @@ class FunctionMetrics:
         self.timeouts = 0.0
         self.fallbacks = 0.0
         self.breaker_trips = 0.0
+        #: Serving-layer timing harvested from ``timing.*`` meter keys
+        #: (stamped by the router and by open-loop sessions): queueing
+        #: delay and total sojourn per admitted request, plus the count
+        #: of requests shed by admission control (``serve.rejected``).
+        self.queue_ticks: List[float] = []
+        self.sojourn_ticks: List[float] = []
+        self.rejections = 0.0
 
     def observe(self, record, latency: Optional[float] = None) -> None:
         self.invocations += 1
@@ -64,6 +71,12 @@ class FunctionMetrics:
         for key, amount in getattr(record, "metrics", {}).items():
             if key in ("retries.handler", "retries.cold_start"):
                 self.retries += amount
+            elif key == "timing.queue_ticks":
+                self.queue_ticks.append(amount)
+            elif key == "timing.sojourn_ticks":
+                self.sojourn_ticks.append(amount)
+            elif key == "serve.rejected":
+                self.rejections += amount
             elif key.startswith("faults."):
                 self.faults_injected += amount
             elif key.startswith("resilience."):
@@ -95,6 +108,22 @@ class FunctionMetrics:
 
     def latency_percentile(self, fraction: float) -> float:
         return percentile(self.latencies, fraction)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Requests shed by admission control, per observed record."""
+        return self.rejections / self.invocations if self.invocations else 0.0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean queueing ticks over admitted requests (0 when unqueued)."""
+        if not self.queue_ticks:
+            return 0.0
+        return sum(self.queue_ticks) / len(self.queue_ticks)
+
+    def sojourn_percentile(self, fraction: float) -> float:
+        """Queue + service tick percentile (router/open-loop sessions)."""
+        return percentile(self.sojourn_ticks, fraction)
 
     def __repr__(self) -> str:
         return "FunctionMetrics(%s: %d invocations, %.0f%% cold)" % (
@@ -147,6 +176,31 @@ class MetricsCollector:
             lines.append("%-30s %8d %6.1f%% %6.1f%% %10s %10s" % (
                 name, metrics.invocations, metrics.cold_rate * 100,
                 metrics.error_rate * 100, p50, p99))
+        return "\n".join(lines)
+
+    def render_serving(self) -> str:
+        """The serving dashboard: queueing, shedding, sojourn tails.
+
+        Complements :meth:`render` for records produced by the
+        multi-instance router (or queue-aware open-loop sessions), where
+        the interesting numbers are queue delay and sojourn percentiles
+        rather than raw invocation latency.
+        """
+        lines = ["%-30s %8s %7s %7s %9s %9s %9s %9s" % (
+            "function", "invokes", "cold%", "rej", "qdelay",
+            "p50", "p95", "p99")]
+        for name in self.functions():
+            metrics = self._functions[name]
+            if metrics.sojourn_ticks:
+                p50 = "%.0f" % metrics.sojourn_percentile(0.50)
+                p95 = "%.0f" % metrics.sojourn_percentile(0.95)
+                p99 = "%.0f" % metrics.sojourn_percentile(0.99)
+            else:
+                p50 = p95 = p99 = "-"
+            lines.append("%-30s %8d %6.1f%% %7.0f %9.1f %9s %9s %9s" % (
+                name, metrics.invocations, metrics.cold_rate * 100,
+                metrics.rejections, metrics.mean_queue_delay,
+                p50, p95, p99))
         return "\n".join(lines)
 
     def render_resilience(self, breaker_states: Optional[Dict[str, str]] = None) -> str:

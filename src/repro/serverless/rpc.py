@@ -120,6 +120,22 @@ class RpcChannel:
     def methods(self):
         return sorted(self._methods)
 
+    def wire_stats(self) -> Dict[str, int]:
+        """Cumulative wire-level counters, one dict per channel.
+
+        The serving router gives every pool instance its own channel, so
+        these counters are *per instance* — dashboards and tests can sum
+        them across a pool or diff them around a single call without
+        poking at individual attributes.
+        """
+        return {
+            "requests_served": self.requests_served,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "drops": self.drops,
+            "latency_ticks": self.latency_ticks,
+        }
+
     def __repr__(self) -> str:
         return "RpcChannel(%s, %d methods, %d served)" % (
             self.name, len(self._methods), self.requests_served,

@@ -1,0 +1,100 @@
+"""Trace-driven arrival generation + open-loop timing separation."""
+
+import pytest
+
+
+class TestArrivalTicks:
+    def test_deterministic_per_seed(self):
+        from repro.serverless.loadgen import ARRIVAL_PROFILES, arrival_ticks
+
+        for profile in ARRIVAL_PROFILES:
+            first = arrival_ticks(profile, rps=80, requests=100, seed=9)
+            second = arrival_ticks(profile, rps=80, requests=100, seed=9)
+            assert first == second
+            assert first != arrival_ticks(profile, rps=80, requests=100,
+                                          seed=10)
+
+    def test_shape_and_ordering(self):
+        from repro.serverless.loadgen import arrival_ticks
+
+        ticks = arrival_ticks("poisson", rps=50, requests=200, seed=1)
+        assert len(ticks) == 200
+        assert all(isinstance(tick, int) for tick in ticks)
+        assert ticks == sorted(ticks)
+
+    def test_burst_concentrates_arrivals(self):
+        from repro.serverless.loadgen import (
+            BURST_ON_TICKS,
+            BURST_PERIOD_TICKS,
+            arrival_ticks,
+        )
+
+        ticks = arrival_ticks("burst", rps=100, requests=300, seed=4)
+        in_window = sum(1 for tick in ticks
+                        if tick % BURST_PERIOD_TICKS < BURST_ON_TICKS)
+        assert in_window == len(ticks)  # the off phase has zero rate
+
+    def test_mean_rate_matches_rps(self):
+        from repro.serverless.loadgen import TICKS_PER_SECOND, arrival_ticks
+
+        rps = 50.0
+        ticks = arrival_ticks("diurnal", rps=rps, requests=2000, seed=2)
+        observed = len(ticks) / (ticks[-1] / float(TICKS_PER_SECOND))
+        assert observed == pytest.approx(rps, rel=0.25)
+
+    def test_validation(self):
+        from repro.serverless.loadgen import arrival_ticks
+
+        with pytest.raises(ValueError):
+            arrival_ticks("poisson", rps=0, requests=10)
+        with pytest.raises(ValueError):
+            arrival_ticks("poisson", rps=10, requests=0)
+        with pytest.raises(ValueError):
+            arrival_ticks("tsunami", rps=10, requests=10)
+
+
+class TestOpenLoopTimingSeparation:
+    def make_generator(self):
+        from repro.serverless.container import base_image
+        from repro.serverless.engine import install_docker
+        from repro.serverless.faas import FaasPlatform
+        from repro.serverless.loadgen import LoadGenerator
+
+        engine = install_docker("riscv")
+        engine.registry.push(base_image("go", "riscv"))
+        platform = FaasPlatform(engine)
+        platform.deploy("fn", "go-default", "go", lambda payload, ctx: {})
+        return LoadGenerator(platform)
+
+    def test_queue_delay_reported_separately_from_service(self):
+        """Regression: queueing delay must not fold into service time.
+
+        With a service time far above the mean gap, the single-server
+        backlog grows and queue delay dominates — and every record must
+        satisfy sojourn = queue + service exactly.
+        """
+        log = self.make_generator().open_loop_session(
+            "fn", requests=40, mean_interarrival=5.0, seed=3,
+            service_ticks=20.0)
+        queued = 0
+        for record in log:
+            metrics = record.metrics
+            assert metrics["timing.service_ticks"] == 20.0
+            assert metrics["timing.sojourn_ticks"] == pytest.approx(
+                metrics["timing.queue_ticks"] + metrics["timing.service_ticks"])
+            queued += metrics["timing.queue_ticks"] > 0
+        assert queued > len(log.records) // 2
+
+    def test_zero_service_keeps_historical_behaviour(self):
+        # The default models an infinitely fast server: nothing queues,
+        # and the cold/warm pattern is untouched by the timing meters.
+        log = self.make_generator().open_loop_session(
+            "fn", requests=30, mean_interarrival=5.0, seed=3)
+        for record in log:
+            assert record.metrics["timing.queue_ticks"] == 0.0
+            assert record.metrics["timing.sojourn_ticks"] == 0.0
+
+    def test_service_ticks_validation(self):
+        with pytest.raises(ValueError):
+            self.make_generator().open_loop_session(
+                "fn", requests=1, mean_interarrival=1, service_ticks=-1)

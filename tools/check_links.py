@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans markdown files for inline links/images (``[text](target)``) and
+reference definitions (``[label]: target``), and reports every relative
+target that does not exist on disk.  External schemes (http/https/
+mailto) are skipped — CI must not depend on the network — and pure
+fragment links (``#section``) are checked against the headings of the
+containing file.
+
+Usage::
+
+    python tools/check_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks the repository's top-level ``*.md`` plus
+everything under ``docs/``.  Exits 1 if any link is broken.
+"""
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+# Inline [text](target) — target ends at the first unescaped ')';
+# markdown titles ('[x](y "title")') are split off below.
+_INLINE_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF_RE = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (close enough for our headings)."""
+    slug = re.sub(r"[`*_]", "", heading.strip().lower())
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def extract_targets(text: str) -> List[str]:
+    """All link targets in one document, fenced code blocks excluded."""
+    prose = _FENCE_RE.sub("", text)
+    targets = _INLINE_RE.findall(prose)
+    targets += _REFDEF_RE.findall(prose)
+    return targets
+
+
+def check_file(path: str) -> List[Tuple[str, str]]:
+    """Return (target, reason) for every broken link in one file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    anchors = {_anchor(h) for h in _HEADING_RE.findall(text)}
+    base = os.path.dirname(os.path.abspath(path))
+    broken = []
+    for target in extract_targets(text):
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("<"):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                broken.append((target, "no such heading"))
+            continue
+        relpath = target.split("#", 1)[0]
+        if not relpath:
+            continue
+        if not os.path.exists(os.path.join(base, relpath)):
+            broken.append((target, "no such file"))
+    return broken
+
+
+def default_files(root: str) -> List[str]:
+    files = sorted(
+        os.path.join(root, name)
+        for name in os.listdir(root)
+        if name.endswith(".md")
+    )
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        files += sorted(
+            os.path.join(docs, name)
+            for name in os.listdir(docs)
+            if name.endswith(".md")
+        )
+    return files
+
+
+def expand(paths: Iterable[str]) -> List[str]:
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, _, names in os.walk(path):
+                files += [
+                    os.path.join(dirpath, n)
+                    for n in sorted(names)
+                    if n.endswith(".md")
+                ]
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="markdown files or directories (default: "
+                             "top-level *.md + docs/)")
+    args = parser.parse_args(argv)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = expand(args.paths) if args.paths else default_files(root)
+    failures = 0
+    for path in files:
+        for target, reason in check_file(path):
+            print("%s: broken link %r (%s)" % (path, target, reason))
+            failures += 1
+    if failures:
+        print("%d broken link(s) in %d file(s) checked"
+              % (failures, len(files)))
+        return 1
+    print("all links resolve in %d file(s)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
