@@ -101,6 +101,23 @@ def _cache_from(args):
     return False if getattr(args, "no_cache", False) else None
 
 
+def _add_sampling_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sampling", default=None, metavar="SPEC",
+        help="sampled O3 simulation: a preset (fast/balanced/accurate), "
+             "key=value pairs (interval=8192,detail=1024,warmup=256,"
+             "jitter=1), or off (default: off, full detail)")
+
+
+def _sampling_from(args):
+    from repro.sim.sampling import SamplingConfig
+
+    try:
+        return SamplingConfig.parse(getattr(args, "sampling", None))
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def _hotel_services(db_name: str):
     from repro.db import make_datastore
     from repro.workloads.hotel import HotelSuite
@@ -144,7 +161,8 @@ def cmd_measure(args) -> int:
     function = get_function(args.function)
     hotel_suite = _hotel_services(args.db) if function.suite == "hotel" else None
     harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
-                                seed=args.seed)
+                                seed=args.seed,
+                                sampling=_sampling_from(args))
     measurement = harness.measure_function(
         function, services=_services_for(function, hotel_suite))
     print("%s on simulated %s (%r)" % (function.name, args.isa, harness.config.os_name))
@@ -186,7 +204,8 @@ def cmd_suite(args) -> int:
     functions = SUITES[args.suite]
     spec = MeasurementSpec(
         function=args.suite, isa=args.isa, scale=_scale_from(args),
-        seed=args.seed, db=args.db if args.suite == "hotel" else None)
+        seed=args.seed, db=args.db if args.suite == "hotel" else None,
+        sampling=_sampling_from(args))
     measurements = measure(
         spec, jobs=args.jobs, cache=_cache_from(args),
         progress=lambda message: print(message, file=sys.stderr),
@@ -328,7 +347,7 @@ def cmd_chaos(args) -> int:
     spec = MeasurementSpec(
         function=function.name, isa=args.isa, scale=_scale_from(args),
         seed=args.seed, db=args.db if function.suite == "hotel" else None,
-        faults=plan)
+        faults=plan, sampling=_sampling_from(args))
     measurement = execute_task(spec)
     print("%s on simulated %s under chaos (fault seed %d, rate %g)" % (
         function.name, args.isa, args.fault_seed, args.rate))
@@ -365,6 +384,12 @@ def cmd_serve(args) -> int:
     from repro.serverless.scaler import ScalingConfig
 
     function = _resolve_function(args.function)
+    if _sampling_from(args) is not None:
+        # The serve verb drives the router's service-tick model, not the
+        # cycle-accurate pipeline; accept the flag for interface
+        # uniformity but say plainly that nothing is sampled.
+        print("note: serve runs no detailed simulation; --sampling has "
+              "no effect here", file=sys.stderr)
     services: Dict[str, Any] = {}
     if function.suite == "hotel":
         if not args.db:
@@ -456,6 +481,7 @@ def cmd_reproduce(args) -> int:
         progress=lambda message: print(message, file=sys.stderr),
         jobs=args.jobs,
         cache=_cache_from(args),
+        sampling=_sampling_from(args),
     )
     print("figure data written to %s" % args.out)
     return 0
@@ -479,11 +505,56 @@ def cmd_cache(args) -> int:
 
 def cmd_bench_smoke(args) -> int:
     """Time the pinned perf-smoke batch; optionally emit JSON."""
-    from repro.core.smoke import render_smoke, run_smoke
+    from repro.core.smoke import (
+        append_entry,
+        render_smoke,
+        run_smoke,
+        wall_regression,
+    )
 
     report = run_smoke(jobs=args.jobs,
-                       cache=None if args.use_cache else False)
+                       cache=None if args.use_cache else False,
+                       sampling=getattr(args, "sampling", None),
+                       legacy=args.with_legacy)
     print(render_smoke(report, as_json=args.json))
+    if not args.append:
+        return 0
+    entry, previous = append_entry(report, path=args.trajectory)
+    print("appended entry %s to %s"
+          % (entry.get("sha") or "(no sha)", args.trajectory))
+    change = wall_regression(previous, entry)
+    if change is not None:
+        print("wall-clock vs previous entry (%s): %+.1f%%"
+              % (previous.get("sha") or "(no sha)", change * 100))
+        if args.max_regress is not None and change > args.max_regress:
+            print("FAIL: regression exceeds %.0f%% threshold"
+                  % (args.max_regress * 100))
+            return 1
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    """Bound sampled-vs-full-detail error over the function catalog."""
+    from repro.core.calibration import calibrate
+    from repro.sim.sampling import SamplingConfig
+
+    try:
+        sampling = SamplingConfig.parse(args.sampling)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if sampling is None:
+        raise SystemExit("calibrate needs a sampling spec "
+                         "(e.g. --sampling accurate)")
+    report = calibrate(sampling, isa=args.isa, db=args.db)
+    print(report.render())
+    if args.bound is not None:
+        try:
+            report.assert_bounded(args.bound)
+        except AssertionError as error:
+            print("FAIL: %s" % error)
+            return 1
+        print("OK: worst CPI error %.2f%% within bound %.2f%%"
+              % (report.worst_cpi_error * 100, args.bound * 100))
     return 0
 
 
@@ -531,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--db", default="cassandra")
     measure.add_argument("--seed", type=int, default=0)
     _add_scale_arguments(measure)
+    _add_sampling_argument(measure)
     measure.set_defaults(func=cmd_measure)
 
     compare = sub.add_parser("compare", help="compare ISAs for one function")
@@ -548,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--seed", type=int, default=0)
     _add_scale_arguments(suite)
     _add_parallel_arguments(suite)
+    _add_sampling_argument(suite)
     suite.set_defaults(func=cmd_suite)
 
     sizes = sub.add_parser("sizes", help="container size table")
@@ -595,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--stall-ticks", type=int, default=32,
                        help="cold-start stall / RPC latency-spike magnitude")
     _add_scale_arguments(chaos)
+    _add_sampling_argument(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     serve = sub.add_parser(
@@ -624,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="datastore for hotel-suite functions")
     serve.add_argument("--out", default=None,
                        help="write records/events/samples as JSON")
+    _add_sampling_argument(serve)
     serve.set_defaults(func=cmd_serve)
 
     lukewarm = sub.add_parser("lukewarm",
@@ -651,7 +726,20 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--seed", type=int, default=0)
     _add_scale_arguments(reproduce)
     _add_parallel_arguments(reproduce)
+    _add_sampling_argument(reproduce)
     reproduce.set_defaults(func=cmd_reproduce)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="bound sampled-simulation error vs full detail")
+    calibrate.add_argument("--isa", default="riscv",
+                           choices=["riscv", "x86", "arm"])
+    calibrate.add_argument("--db", default="cassandra")
+    calibrate.add_argument("--bound", type=float, default=None,
+                           help="fail (exit 1) when worst CPI error "
+                                "exceeds this fraction (e.g. 0.05)")
+    _add_sampling_argument(calibrate)
+    calibrate.set_defaults(func=cmd_calibrate)
 
     dbcompare = sub.add_parser("dbcompare",
                                help="MongoDB vs Cassandra under QEMU (Fig 4.20)")
@@ -670,6 +758,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "a simulator benchmark)")
     smoke.add_argument("--jobs", type=int, default=None,
                        help="measurement workers (default REPRO_JOBS or all cores)")
+    smoke.add_argument("--append", action="store_true",
+                       help="append this run to the trajectory file")
+    smoke.add_argument("--trajectory", default="BENCH_SMOKE.json",
+                       help="trajectory file for --append")
+    smoke.add_argument("--max-regress", type=float, default=None,
+                       help="with --append: fail (exit 1) when wall-clock "
+                            "regresses more than this fraction vs the "
+                            "previous entry (e.g. 0.25)")
+    smoke.add_argument("--with-legacy", action="store_true",
+                       help="also time the batch with the predecode cache "
+                            "disabled (same-machine baseline + speedups)")
+    smoke.add_argument("--sampling", default="accurate", metavar="SPEC",
+                       help="config for the sampled phase (default: "
+                            "accurate; 'off' skips the phase)")
     smoke.set_defaults(func=cmd_bench_smoke)
     return parser
 

@@ -1,0 +1,177 @@
+"""Sampled-simulation calibration: bound sampled error vs full detail.
+
+FireSim-style methodology ("Bridging Simulation and Silicon"): a fast
+mode is only trustworthy once its results are checked against the
+detailed reference on a representative workload set.  This module runs
+the paper's function catalog twice — full detail and sampled — and
+reports per-function CPI and end-to-end (request cycle) error, so the
+calibration suite can assert a fixed bound and preset retuning has a
+harness to sweep against.
+
+The functional instruction stream is exact in sampled mode (only timing
+is estimated), so instruction counts must match full detail everywhere;
+:func:`calibrate` checks that invariant too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.harness import ExperimentHarness, FunctionMeasurement
+from repro.core.scale import SimScale
+from repro.sim.sampling import SamplingConfig
+
+#: Default calibration scale: small enough for the suite, large enough
+#: that long (cold) runs clear the sampling floor and actually sample.
+CALIBRATION_SCALE = SimScale(512, 16)
+
+
+class CalibrationRow:
+    """One (function, phase) comparison between sampled and full detail."""
+
+    __slots__ = ("function", "phase", "full_cycles", "sampled_cycles",
+                 "full_cpi", "sampled_cpi", "insts_match")
+
+    def __init__(self, function: str, phase: str, full, sampled):
+        self.function = function
+        self.phase = phase
+        self.full_cycles = full.cycles
+        self.sampled_cycles = sampled.cycles
+        self.full_cpi = full.cpi
+        self.sampled_cpi = sampled.cpi
+        self.insts_match = full.instructions == sampled.instructions
+
+    @property
+    def cpi_error(self) -> float:
+        if not self.full_cpi:
+            return 0.0
+        return abs(self.sampled_cpi - self.full_cpi) / self.full_cpi
+
+    @property
+    def cycle_error(self) -> float:
+        if not self.full_cycles:
+            return 0.0
+        return abs(self.sampled_cycles - self.full_cycles) / self.full_cycles
+
+    def __repr__(self) -> str:
+        return "CalibrationRow(%s/%s: cpi %.4f vs %.4f, err %.2f%%)" % (
+            self.function, self.phase, self.sampled_cpi, self.full_cpi,
+            self.cpi_error * 100)
+
+
+class CalibrationReport:
+    """Error envelope of one sampling config over a function set."""
+
+    def __init__(self, sampling: SamplingConfig, isa: str,
+                 rows: List[CalibrationRow]):
+        self.sampling = sampling
+        self.isa = isa
+        self.rows = rows
+
+    @property
+    def worst(self) -> CalibrationRow:
+        return max(self.rows, key=lambda row: row.cpi_error)
+
+    @property
+    def worst_cpi_error(self) -> float:
+        return max(row.cpi_error for row in self.rows)
+
+    @property
+    def mean_cpi_error(self) -> float:
+        return sum(row.cpi_error for row in self.rows) / len(self.rows)
+
+    @property
+    def worst_cycle_error(self) -> float:
+        return max(row.cycle_error for row in self.rows)
+
+    @property
+    def functional_exact(self) -> bool:
+        """Instruction counts matched full detail on every row."""
+        return all(row.insts_match for row in self.rows)
+
+    def assert_bounded(self, bound: float) -> None:
+        """Raise AssertionError when any row's CPI error exceeds bound."""
+        worst = self.worst
+        if worst.cpi_error > bound:
+            raise AssertionError(
+                "sampling %s: CPI error %.2f%% at %s/%s exceeds bound %.2f%%"
+                % (self.sampling.fingerprint(), worst.cpi_error * 100,
+                   worst.function, worst.phase, bound * 100))
+        if not self.functional_exact:
+            broken = [row for row in self.rows if not row.insts_match]
+            raise AssertionError(
+                "sampled instruction counts diverged from full detail: %r"
+                % broken[:3])
+
+    def render(self) -> str:
+        lines = ["calibration %s on %s (%d rows)" % (
+            self.sampling.fingerprint(), self.isa, len(self.rows))]
+        for row in sorted(self.rows, key=lambda r: -r.cpi_error):
+            lines.append(
+                "  %-34s %-5s cpi %7.4f -> %7.4f  err %6.2f%%" % (
+                    row.function, row.phase, row.full_cpi, row.sampled_cpi,
+                    row.cpi_error * 100))
+        lines.append("  worst %.2f%%  mean %.2f%%  functional-exact %s" % (
+            self.worst_cpi_error * 100, self.mean_cpi_error * 100,
+            self.functional_exact))
+        return "\n".join(lines)
+
+
+def _measure_catalog(sampling: Optional[SamplingConfig], isa: str,
+                     scale: SimScale, db: str,
+                     functions: Optional[Iterable] = None):
+    """Full cold/warm measurements over the (or a subset of the) catalog.
+
+    Hotel functions need live suite services, which forces the serial
+    in-process path; standalone and online-shop functions run plain.
+    """
+    from repro.db import make_datastore
+    from repro.workloads.catalog import (
+        HOTEL_FUNCTIONS,
+        ONLINESHOP_FUNCTIONS,
+        STANDALONE_FUNCTIONS,
+    )
+    from repro.workloads.hotel import HotelSuite
+
+    hotel_names = {fn.name for fn in HOTEL_FUNCTIONS}
+    if functions is None:
+        functions = STANDALONE_FUNCTIONS + ONLINESHOP_FUNCTIONS + HOTEL_FUNCTIONS
+    functions = list(functions)
+
+    suite = None
+    out = {}
+    for fn in functions:
+        harness = ExperimentHarness(isa=isa, scale=scale, sampling=sampling)
+        if fn.name in hotel_names:
+            if suite is None:
+                suite = HotelSuite(make_datastore(db))
+            measurement = harness.measure_function(
+                fn, services=suite.services_for(fn))
+        else:
+            measurement = harness.measure_function(fn)
+        out[fn.name] = measurement
+    return out
+
+
+def calibrate(sampling: SamplingConfig, isa: str = "riscv",
+              scale: Optional[SimScale] = None, db: str = "cassandra",
+              functions: Optional[Iterable] = None) -> CalibrationReport:
+    """Measure a sampling config's error envelope vs full detail.
+
+    Runs every function cold and warm under both modes on a pristine
+    per-function system (the standard measurement protocol) and returns
+    a :class:`CalibrationReport` with one row per (function, phase).
+    """
+    if sampling is None:
+        raise ValueError("calibrate() needs a SamplingConfig; "
+                         "sampling=None is the reference itself")
+    scale = scale or CALIBRATION_SCALE
+    full = _measure_catalog(None, isa, scale, db, functions)
+    sampled = _measure_catalog(sampling, isa, scale, db, functions)
+    rows = []
+    for name in full:
+        for phase in ("cold", "warm"):
+            rows.append(CalibrationRow(
+                name, phase,
+                getattr(full[name], phase), getattr(sampled[name], phase)))
+    return CalibrationReport(sampling, isa, rows)

@@ -205,12 +205,18 @@ class ExperimentHarness:
         seed: int = 0,
         tracer=None,
         faults=None,
+        sampling=None,
     ):
         self.isa = isa
         self.scale = scale
         self.config = platform_config or platform_for(isa)
         self.setup_cpu = setup_cpu
         self.seed = seed
+        #: Optional :class:`~repro.sim.sampling.SamplingConfig`.  When
+        #: set, the measured (O3) runs use sampled simulation; setup-mode
+        #: work (boot, warming) is unaffected — it is already functional.
+        #: ``None`` runs every detailed instruction exactly as before.
+        self.sampling = sampling
         #: Optional :class:`repro.obs.Tracer`.  Attached to the system
         #: only once measurement starts (after checkpoint restore), so a
         #: fresh-boot run and a cached-checkpoint run trace the same
@@ -379,7 +385,8 @@ class ExperimentHarness:
             if measured:
                 self.system.reset_stats()  # m5 reset
                 result = self.system.run(SERVER_CORE, program, model="o3",
-                                         seed=self.seed)
+                                         seed=self.seed,
+                                         sampling=self.sampling)
                 dump = self.system.dump_stats()  # m5 dump
                 stats = RequestStats(result.cycles, result.instructions, dump,
                                      self.system.name)
@@ -450,7 +457,8 @@ class ExperimentHarness:
             if sequence == 0 or sequence == requests - 1:
                 self.system.reset_stats()
                 result = self.system.run(SERVER_CORE, program, model="o3",
-                                         seed=self.seed)
+                                         seed=self.seed,
+                                         sampling=self.sampling)
                 dump = self.system.dump_stats()
                 stats = RequestStats(result.cycles, result.instructions, dump,
                                      self.system.name)
@@ -516,7 +524,7 @@ class ExperimentHarness:
             base.records[-1], services or {}, self.scale, seed=self.seed)
         self.system.reset_stats()
         result = self.system.run(SERVER_CORE, victim_program, model="o3",
-                                 seed=self.seed)
+                                 seed=self.seed, sampling=self.sampling)
         dump = self.system.dump_stats()
         lukewarm = RequestStats(result.cycles, result.instructions, dump,
                                 self.system.name)

@@ -53,6 +53,7 @@ def task_digest(task: MeasurementSpec) -> str:
     """Content address of a spec for the result cache."""
     platform = task.platform or platform_for(task.isa)
     scaling = getattr(task, "scaling", None)
+    sampling = getattr(task, "sampling", None)
     return measurement_digest(
         function=task.function,
         isa=task.isa,
@@ -63,6 +64,7 @@ def task_digest(task: MeasurementSpec) -> str:
         db=task.db,
         requests=task.requests,
         scaling=scaling.fingerprint() if scaling is not None else None,
+        sampling=sampling.fingerprint() if sampling is not None else None,
     )
 
 
@@ -101,7 +103,8 @@ def execute_task(task: MeasurementSpec) -> FunctionMeasurement:
     injector = task.faults.arm() if task.faults is not None else None
     harness = ExperimentHarness(isa=task.isa, scale=task.scale,
                                 platform_config=task.platform, seed=task.seed,
-                                tracer=tracer, faults=injector)
+                                tracer=tracer, faults=injector,
+                                sampling=getattr(task, "sampling", None))
     measurement = harness.measure_function(function, services=services,
                                            requests=task.requests)
     if tracer is not None:

@@ -98,7 +98,8 @@ def measure(
             harness = ExperimentHarness(isa=spec.isa, scale=spec.scale,
                                         platform_config=spec.platform,
                                         seed=spec.seed, tracer=tracer,
-                                        faults=injector)
+                                        faults=injector,
+                                        sampling=spec.sampling)
             measurement = harness.measure_function(
                 function, services=services_for(function),
                 requests=spec.requests)
@@ -215,12 +216,16 @@ def reproduce_all(
     progress=None,
     jobs: Optional[int] = None,
     cache=None,
+    sampling=None,
 ) -> Dict[str, Any]:
     """Regenerate every evaluation figure's data; optionally write files.
 
     Returns the raw measurement batches keyed by batch name; when
     ``output_dir`` is given, also renders the figure tables+charts there
-    (the same artifacts the bench suite produces).
+    (the same artifacts the bench suite produces).  ``sampling`` — an
+    optional :class:`~repro.sim.sampling.SamplingConfig` — runs every
+    detailed measurement sampled, trading bounded CPI error for speed;
+    the result cache keys sampled batches separately.
     """
     from repro.workloads.catalog import (
         HOTEL_FUNCTIONS,
@@ -233,7 +238,7 @@ def reproduce_all(
 
     def batch(function: str, isa: str, batch_db: Optional[str] = None):
         spec = MeasurementSpec(function=function, isa=isa, scale=scale,
-                               seed=seed, db=batch_db)
+                               seed=seed, db=batch_db, sampling=sampling)
         return measure(spec, jobs=jobs, cache=cache, progress=progress)
 
     batches: Dict[str, Any] = {

@@ -68,6 +68,7 @@ def measurement_digest(
     db: Optional[str] = None,
     requests: int = 10,
     scaling: Any = None,
+    sampling: Any = None,
 ) -> str:
     """Content address of one measurement.
 
@@ -75,8 +76,11 @@ def measurement_digest(
     (:meth:`repro.core.config.PlatformConfig.fingerprint`), so a DSE
     design point and the stock platform never collide.  ``scaling`` is
     the :meth:`~repro.serverless.scaler.ScalingConfig.fingerprint` tuple
-    of a serving experiment; it extends the key *only when set*, so every
-    digest minted before the serving layer existed stays valid.
+    of a serving experiment, ``sampling`` the
+    :meth:`~repro.sim.sampling.SamplingConfig.fingerprint` of a sampled
+    run; each extends the key *only when set*, so every digest minted
+    before the corresponding layer existed stays valid — and a sampled
+    (approximate) result can never alias a full-detail one.
     """
     from repro import __version__
 
@@ -86,6 +90,8 @@ def measurement_digest(
     )
     if scaling is not None:
         key = key + (scaling,)
+    if sampling is not None:
+        key = key + (sampling,)
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 

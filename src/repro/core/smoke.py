@@ -1,39 +1,60 @@
-"""Perf smoke harness: time a fixed measurement batch, emit JSON.
+"""Perf smoke harness: time a fixed measurement batch, track a trajectory.
 
 ``python -m repro bench-smoke --json`` runs a pinned batch (standalone +
 online shop + hotel on RISC-V, TEST scale, seed 0) with the result cache
-disabled, so the number it reports is honest simulation wall-clock.  The
-JSON is the perf trajectory's unit of record: CI uploads one per run, and
-a future regression in the simulator hot path shows up as a step in
-``wall_s`` under identical work.
+disabled, so the number it reports is honest simulation wall-clock.
+
+Schema v2 makes ``BENCH_SMOKE.json`` a *trajectory*: a list of entries
+keyed by git SHA and date, appended with ``bench-smoke --append``, so
+the perf history accumulates per PR instead of overwriting a single
+snapshot.  CI appends an entry per run, uploads the file as an artifact,
+and fails on a wall-clock regression beyond its threshold vs the
+previous entry.  A v1 single-snapshot file migrates transparently: it
+becomes the trajectory's first entry (with no SHA — it predates the
+trajectory).
+
+Beyond the full-detail batch, a smoke run can time two extra phases:
+
+* ``sampled`` — the same batch under a sampling config (default the
+  calibrated ``accurate`` preset).  It runs in the same process after
+  the full-detail phase, so assembled-program and dataset caches are
+  warm; the figure isolates the simulation hot loop the way FireSim's
+  fast mode isolates target time, and is honest about that framing.
+* ``legacy`` — the same batch with the predecode cache disabled
+  (``REPRO_PREDECODE=0`` semantics), giving a same-machine baseline so
+  speedups are comparable across differently-provisioned CI hosts.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 import time
-from typing import Any, Dict, Optional
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
 
 #: Bump when the smoke workload itself changes, so trajectories are only
 #: compared within a generation.
-SMOKE_SCHEMA = "repro-bench-smoke/1"
+SMOKE_SCHEMA = "repro-bench-smoke/2"
+
+#: Default trajectory location (repo root in the source checkout).
+TRAJECTORY_PATH = "BENCH_SMOKE.json"
 
 
-def run_smoke(jobs: Optional[int] = None, cache=False) -> Dict[str, Any]:
-    """Run the pinned smoke batch; returns the JSON-ready report."""
-    from repro.core.parallel import resolve_jobs
+def _run_batches(jobs, cache, sampling=None) -> Tuple[Dict[str, Any], int, float]:
+    """Time the pinned batches; returns (batches, instructions, wall_s)."""
     from repro.core.reproduce import measure
     from repro.core.scale import TEST
     from repro.core.spec import MeasurementSpec
 
-    resolved_jobs = resolve_jobs(jobs)
     batches: Dict[str, Dict[str, Any]] = {}
-
     start_total = time.perf_counter()
+
     start = time.perf_counter()
     standalone = measure(
         MeasurementSpec(function="standalone+shop", isa="riscv", scale=TEST,
-                        seed=0),
+                        seed=0, sampling=sampling),
         jobs=jobs, cache=cache)
     batches["riscv_standalone_shop"] = {
         "functions": len(standalone),
@@ -42,7 +63,7 @@ def run_smoke(jobs: Optional[int] = None, cache=False) -> Dict[str, Any]:
     start = time.perf_counter()
     hotel = measure(
         MeasurementSpec(function="hotel", isa="riscv", scale=TEST, seed=0,
-                        db="cassandra"),
+                        db="cassandra", sampling=sampling),
         jobs=jobs, cache=cache)
     batches["riscv_hotel"] = {
         "functions": len(hotel),
@@ -54,7 +75,28 @@ def run_smoke(jobs: Optional[int] = None, cache=False) -> Dict[str, Any]:
         m.cold.instructions + m.warm.instructions
         for batch in (standalone, hotel) for m in batch.values()
     )
-    return {
+    return batches, total_instructions, wall_total
+
+
+def run_smoke(jobs: Optional[int] = None, cache=False,
+              sampling: Optional[str] = "accurate",
+              legacy: bool = False) -> Dict[str, Any]:
+    """Run the pinned smoke batch; returns the JSON-ready report.
+
+    ``sampling`` names the config for the sampled phase (a spec string;
+    ``"off"``/``None`` skips the phase).  ``legacy=True`` additionally
+    times the batch with the predecode cache disabled, recording a
+    same-machine baseline and the derived speedups.
+    """
+    from repro.core.parallel import resolve_jobs
+    from repro.core.scale import TEST
+    from repro.sim.isa import predecode
+    from repro.sim.sampling import SamplingConfig
+
+    resolved_jobs = resolve_jobs(jobs)
+    batches, total_instructions, wall_total = _run_batches(jobs, cache)
+
+    report: Dict[str, Any] = {
         "schema": SMOKE_SCHEMA,
         "scale": {"time": TEST.time, "space": TEST.space},
         "seed": 0,
@@ -66,6 +108,106 @@ def run_smoke(jobs: Optional[int] = None, cache=False) -> Dict[str, Any]:
         "wall_s": round(wall_total, 3),
     }
 
+    config = SamplingConfig.parse(sampling)
+    if config is not None:
+        sampled_batches, _, sampled_wall = _run_batches(
+            jobs, cache, sampling=config)
+        report["sampled"] = {
+            "sampling": config.fingerprint(),
+            "batches": sampled_batches,
+            "wall_s": round(sampled_wall, 3),
+            "note": "same-process rerun after the full-detail phase; "
+                    "assembled-program and dataset caches are warm, so "
+                    "this isolates the simulation hot loop",
+        }
+
+    if legacy:
+        _clear_process_caches()
+        previous = predecode.set_enabled(False)
+        try:
+            legacy_batches, _, legacy_wall = _run_batches(jobs, cache)
+        finally:
+            predecode.set_enabled(previous)
+            _clear_process_caches()
+        report["legacy"] = {
+            "batches": legacy_batches,
+            "wall_s": round(legacy_wall, 3),
+            "note": "predecode cache disabled: same-machine baseline",
+        }
+        if wall_total:
+            report["speedup_vs_legacy"] = round(legacy_wall / wall_total, 2)
+        if config is not None and report["sampled"]["wall_s"]:
+            report["sampled_speedup_vs_legacy"] = round(
+                legacy_wall / report["sampled"]["wall_s"], 2)
+    return report
+
+
+def _clear_process_caches() -> None:
+    """Drop process-wide warm state (boot checkpoints, shared assembled
+    programs, dataset blobs) so the next phase pays cold costs — the
+    legacy baseline must be comparable to a fresh-process run, not to a
+    third same-process pass over warm caches."""
+    from repro.core.harness import clear_boot_checkpoint_cache
+    from repro.sim import system
+    from repro.workloads import hotel
+
+    clear_boot_checkpoint_cache()
+    system._SHARED_ASSEMBLED.clear()
+    hotel._DATASET_CACHE.clear()
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            stderr=subprocess.DEVNULL).decode().strip() or None
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def load_trajectory(path=TRAJECTORY_PATH) -> Dict[str, Any]:
+    """Load (or initialise) the trajectory; migrates a v1 snapshot."""
+    target = Path(path)
+    if not target.exists():
+        return {"schema": SMOKE_SCHEMA, "entries": []}
+    data = json.loads(target.read_text())
+    if isinstance(data, dict) and isinstance(data.get("entries"), list):
+        return {"schema": SMOKE_SCHEMA, "entries": data["entries"]}
+    # v1 single snapshot: it becomes the first trajectory entry.  It
+    # predates the trajectory, so it carries no SHA/date.
+    entry = dict(data)
+    entry.setdefault("sha", None)
+    entry.setdefault("date", None)
+    return {"schema": SMOKE_SCHEMA, "entries": [entry]}
+
+
+def append_entry(report: Dict[str, Any], path=TRAJECTORY_PATH,
+                 sha: Optional[str] = None) -> Tuple[Dict[str, Any],
+                                                     Optional[Dict[str, Any]]]:
+    """Append a smoke report to the trajectory file.
+
+    Returns ``(entry, previous_entry)`` — the previous entry is what a
+    regression gate compares against (None on the first append).
+    """
+    trajectory = load_trajectory(path)
+    entry = dict(report)
+    entry["sha"] = sha if sha is not None else _git_sha()
+    entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    previous = trajectory["entries"][-1] if trajectory["entries"] else None
+    trajectory["entries"].append(entry)
+    Path(path).write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return entry, previous
+
+
+def wall_regression(previous: Optional[Dict[str, Any]],
+                    entry: Dict[str, Any]) -> Optional[float]:
+    """Fractional wall-clock change vs the previous entry (+0.30 = 30%
+    slower); None when there is nothing to compare against."""
+    if not previous or not previous.get("wall_s") or not entry.get("wall_s"):
+        return None
+    return entry["wall_s"] / previous["wall_s"] - 1.0
+
 
 def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
     """Render the report for the CLI (JSON or a short human summary)."""
@@ -76,4 +218,16 @@ def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
     for name, batch in report["batches"].items():
         lines.append("  %-24s %2d functions  %8.2fs"
                      % (name, batch["functions"], batch["wall_s"]))
+    sampled = report.get("sampled")
+    if sampled:
+        lines.append("  sampled (%s): %.2fs" % (
+            sampled["sampling"], sampled["wall_s"]))
+    legacy = report.get("legacy")
+    if legacy:
+        lines.append("  legacy (no predecode): %.2fs" % legacy["wall_s"])
+        if "speedup_vs_legacy" in report:
+            lines.append("  speedup vs legacy: %.1fx full detail%s" % (
+                report["speedup_vs_legacy"],
+                (", %.1fx sampled" % report["sampled_speedup_vs_legacy"])
+                if "sampled_speedup_vs_legacy" in report else ""))
     return "\n".join(lines)

@@ -22,7 +22,7 @@ from typing import Any, Dict, Optional
 from repro.core.scale import BENCH, SimScale
 
 _FIELDS = ("function", "isa", "time", "space", "seed", "db", "requests",
-           "platform", "trace", "faults", "scaling")
+           "platform", "trace", "faults", "scaling", "sampling")
 
 
 class MeasurementSpec:
@@ -63,6 +63,15 @@ class MeasurementSpec:
         different autoscaler knobs must never share a content address.
         ``None`` — the default, and the only value measurement entry
         points produce — keeps identity and digests exactly as before.
+    ``sampling``
+        Optional :class:`~repro.sim.sampling.SamplingConfig`.  When set,
+        detailed (O3) runs use sampled simulation — short detailed
+        windows extrapolated over fast-forwarded instructions — trading
+        a bounded cycle error for a large speedup.  Part of spec
+        identity and of the result-cache key: sampled results are
+        approximations and must never alias full-detail ones.  ``None``
+        (the default) runs every detailed instruction and keeps all
+        digests byte-identical to the pre-sampling implementation.
     """
 
     __slots__ = _FIELDS
@@ -72,7 +81,7 @@ class MeasurementSpec:
                  time: Optional[int] = None, space: Optional[int] = None,
                  seed: int = 0, db: Optional[str] = None, requests: int = 10,
                  platform=None, trace: bool = False, faults=None,
-                 scaling=None):
+                 scaling=None, sampling=None):
         if scale is not None and (time is not None or space is not None):
             raise TypeError("pass scale= or time=/space=, not both")
         if scale is None:
@@ -96,6 +105,7 @@ class MeasurementSpec:
         set_field(self, "trace", bool(trace))
         set_field(self, "faults", faults)
         set_field(self, "scaling", scaling)
+        set_field(self, "sampling", sampling)
 
     # -- immutability ------------------------------------------------------
 
@@ -133,9 +143,13 @@ class MeasurementSpec:
         scaling = self.scaling
         scaling_fingerprint = (scaling.fingerprint()
                                if scaling is not None else None)
+        sampling = self.sampling
+        sampling_fingerprint = (sampling.fingerprint()
+                                if sampling is not None else None)
         return (self.function, self.isa, self.time, self.space, self.seed,
                 self.db, self.requests, fingerprint, self.trace,
-                fault_fingerprint, scaling_fingerprint)
+                fault_fingerprint, scaling_fingerprint,
+                sampling_fingerprint)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MeasurementSpec):
@@ -162,6 +176,8 @@ class MeasurementSpec:
             parts.append("faults=%r" % self.faults)
         if self.scaling is not None:
             parts.append("scaling=%r" % self.scaling)
+        if self.sampling is not None:
+            parts.append("sampling=%r" % self.sampling)
         return "MeasurementSpec(%s)" % ", ".join(parts)
 
     # -- pickling (slots, no __dict__) -------------------------------------

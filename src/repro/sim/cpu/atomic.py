@@ -5,11 +5,17 @@ immediately and nothing overlaps.  Exactly like gem5's Atomic CPU it is
 not a realistic performance model; the harness uses it to boot the system
 and take checkpoints (setup mode), because the KVM model is unstable
 (§3.4.1).
+
+The fast path replays predecoded basic blocks
+(:mod:`repro.sim.isa.predecode`); the legacy per-instruction loop is kept
+for ``REPRO_PREDECODE=0`` and the equivalence tests that pin the two
+paths bit-identical.
 """
 
 from __future__ import annotations
 
 from repro.sim.cpu.base import BaseCpu, RunResult
+from repro.sim.isa import predecode
 from repro.sim.isa.base import InstrClass
 
 
@@ -19,6 +25,25 @@ class AtomicCpu(BaseCpu):
     model_name = "atomic"
 
     def run_program(self, assembled, seed: int = 0) -> RunResult:
+        if predecode.enabled():
+            cycles, class_counts = predecode.atomic_run(assembled, seed,
+                                                        self.mem)
+            names = InstrClass.NAMES
+            by_class = self.stat_by_class
+            instructions = 0
+            for icls, count in enumerate(class_counts):
+                if count:
+                    by_class.inc(names[icls], count)
+                    instructions += count
+            self.stat_cycles.inc(cycles)
+            self.stat_insts.inc(instructions)
+            return RunResult(cycles, instructions,
+                             class_counts[InstrClass.LOAD],
+                             class_counts[InstrClass.STORE],
+                             class_counts[InstrClass.BRANCH])
+        return self._run_legacy(assembled, seed)
+
+    def _run_legacy(self, assembled, seed: int = 0) -> RunResult:
         mem = self.mem
         line_mask = ~(mem.config.line_size - 1)
         names = InstrClass.NAMES

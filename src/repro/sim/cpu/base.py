@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.sim.isa import predecode
 from repro.sim.isa.base import InstrClass
 from repro.sim.mem.hierarchy import CoreMemSystem
 from repro.sim.statistics import StatGroup
@@ -89,6 +90,8 @@ class BaseCpu:
         ``bpred`` (the detailed core's branch predictor, if any) trains on
         the branch stream, exactly what functional warming is for.
         """
+        if predecode.enabled():
+            return predecode.warm_run(assembled, seed, self.mem, bpred)
         line_mask = ~(self.mem.config.line_size - 1)
         mem = self.mem
         current_line = -1

@@ -30,8 +30,10 @@ from repro.obs.tracer import (
 )
 from repro.sim.cpu.base import BaseCpu, RunResult
 from repro.sim.cpu.bpred import make_predictor
+from repro.sim.isa import predecode
 from repro.sim.isa.base import NUM_ARCH_REGS, InstrClass
 from repro.sim.mem.hierarchy import CoreMemSystem
+from repro.sim.sampling import DETAIL, FAST_FORWARD, WARMUP
 from repro.sim.statistics import StatGroup
 
 #: Traced runs sample the pipeline counters once per this many committed
@@ -163,21 +165,40 @@ class O3Cpu(BaseCpu):
         )
         self.stat_rob_stalls = self.stats.scalar("robStalls", "dispatch stalls on full ROB")
         self.stat_lsq_stalls = self.stats.scalar("lsqStalls", "dispatch stalls on full LSQ")
-        #: Optional :class:`repro.obs.Tracer`.  The tracing-enabled run
-        #: uses a separate instrumented loop (:meth:`_run_traced`) so the
-        #: fast path below stays free of per-instruction guard branches.
+        #: Optional :class:`repro.obs.Tracer`.  Attaching one makes the
+        #: run emit pipeline phase spans and dense counter samples.
         self.tracer = None
 
-    def run_program(self, assembled, seed: int = 0) -> RunResult:
-        if self.tracer is None:
-            return self._run_fast(assembled, seed)
-        return self._run_traced(assembled, seed)
+    def run_program(self, assembled, seed: int = 0, sampling=None) -> RunResult:
+        if sampling is not None:
+            # Exact-short-run floor: programs below the config's length
+            # threshold run full detail.  Short serverless requests are
+            # one-shot phases where a single extrapolated window is
+            # systematically biased, and their full-detail cost is
+            # negligible next to the long runs sampling accelerates.
+            from repro.sim.isa.predecode import program_length
 
-    def _run_fast(self, assembled, seed: int = 0) -> RunResult:
+            if program_length(assembled) >= sampling.min_insts:
+                return self._run_sampled(assembled, seed, sampling)
+        return self._run(assembled, seed)
+
+    def _run(self, assembled, seed: int = 0) -> RunResult:
+        """The pipeline model over the predecoded instruction-run stream.
+
+        One loop serves both the plain and the traced paths (previously
+        two byte-identical copies): stall attribution accumulators are
+        plain integer adds, cheap enough to keep unconditionally, and
+        the per-instruction counter-sample check is disarmed without a
+        tracer by pushing ``next_sample`` beyond any instruction count.
+        Arithmetic is bit-identical to the legacy per-instruction loops
+        over ``assembled.trace()`` — the tier-1 suite pins this with the
+        predecode cache forced on and off.
+        """
+        tracer = self.tracer
+        base = tracer.now if tracer is not None else 0
         cfg = self.config
         mem = self.mem
         bpred = self.bpred
-        line_mask = ~(mem.config.line_size - 1)
         l1_latency = mem.config.l1_latency
         names = InstrClass.NAMES
         by_class = self.stat_by_class
@@ -218,9 +239,6 @@ class O3Cpu(BaseCpu):
         # dynamic instruction, so every attribute/hash lookup hoisted here
         # is worth percent-level wall clock on the full matrix.
         acquire_by_class = tuple(pool.acquire for pool in fu_by_class)
-        latency_by_class = _LATENCY_BY_CLASS
-        busy_by_class = _BUSY_BY_CLASS
-        serializing_by_class = _SERIALIZING_BY_CLASS
         ifetch = mem.ifetch
         data_access = mem.data_access
         predict_and_update = bpred.predict_and_update
@@ -250,8 +268,6 @@ class O3Cpu(BaseCpu):
 
         instructions = 0
         loads = stores = branches = 0
-        is_load = InstrClass.LOAD
-        is_store = InstrClass.STORE
         is_branch = InstrClass.BRANCH
 
         # Per-run stat accumulators, flushed to the Stat objects once at
@@ -261,23 +277,23 @@ class O3Cpu(BaseCpu):
         lsq_stalls = 0
         squashes = 0
 
-        # Rotation state for repeated (micro-looped) instructions: dynamic
-        # instances of the same static instruction cycle through their
-        # chain registers, modelling rename-enabled loop overlap.
-        prev_static = None
-        rotation = 0
+        # Phase attribution (cycles lost per pipeline stage); emitted
+        # only when a tracer is attached but accumulated unconditionally.
+        fetch_stall_cycles = 0
+        dispatch_stall_cycles = 0
+        operand_wait_cycles = 0
+        fu_wait_cycles = 0
+        commit_stall_cycles = 0
+        next_sample = _SAMPLE_PERIOD if tracer is not None else (1 << 62)
 
-        for static, addr, taken in assembled.trace(seed):
-            icls = static.icls
-            pc = static.pc
-            if static is prev_static:
-                rotation += 1
-            else:
-                prev_static = static
-                rotation = 0
+        runs = predecode.o3_stream(assembled, seed, mem._line_shift,
+                                   _LATENCY_BY_CLASS, _BUSY_BY_CLASS,
+                                   _SERIALIZING_BY_CLASS)
+        for run in runs:
+            (count, icls, pc, pc_line, srcs, dst, lanes, serializing,
+             op_latency, busy, memkind, addrs, takens) = run
 
-            # ---- fetch -------------------------------------------------
-            pc_line = pc & line_mask
+            # ---- fetch: at most once per run (one PC per run) ----------
             if pc_line != current_line:
                 fetch_start = dispatch_cycle if dispatch_cycle > redirect_at else redirect_at
                 latency = ifetch(pc, fetch_start)
@@ -285,114 +301,129 @@ class O3Cpu(BaseCpu):
                 line_ready = fetch_start + (miss_extra if miss_extra > 0 else 0)
                 current_line = pc_line
 
-            earliest_dispatch = line_ready
-            if redirect_at > earliest_dispatch:
-                earliest_dispatch = redirect_at
+            acquire = acquire_by_class[icls]
+            branch_run = icls == is_branch
+            lanes_len = len(lanes) if lanes is not None else 0
+            takens_seq = takens if type(takens) is list else None
 
-            # ---- dispatch (in-order, width-limited) ----------------------
-            if earliest_dispatch > dispatch_cycle:
-                dispatch_cycle = earliest_dispatch
-                dispatch_slots = 1
-            elif dispatch_slots < dispatch_width:
-                dispatch_slots += 1
-            else:
-                dispatch_cycle += 1
-                dispatch_slots = 1
+            for index in range(count):
+                earliest_dispatch = line_ready if line_ready > redirect_at else redirect_at
 
-            # ROB occupancy.
-            while rob and rob[0] <= dispatch_cycle:
-                rob_popleft()
-            if len(rob) >= rob_entries:
-                stall_until = rob_popleft()
-                if stall_until > dispatch_cycle:
-                    dispatch_cycle = stall_until
+                # ---- dispatch (in-order, width-limited) ----------------
+                if earliest_dispatch > dispatch_cycle:
+                    fetch_stall_cycles += earliest_dispatch - dispatch_cycle
+                    dispatch_cycle = earliest_dispatch
                     dispatch_slots = 1
-                rob_stalls += 1
+                elif dispatch_slots < dispatch_width:
+                    dispatch_slots += 1
+                else:
+                    dispatch_cycle += 1
+                    dispatch_slots = 1
 
-            # LSQ occupancy.
-            if icls == is_load:
-                while load_queue and load_queue[0] <= dispatch_cycle:
-                    lq_popleft()
-                if len(load_queue) >= lq_entries:
-                    stall_until = lq_popleft()
+                # ROB occupancy.
+                while rob and rob[0] <= dispatch_cycle:
+                    rob_popleft()
+                if len(rob) >= rob_entries:
+                    stall_until = rob_popleft()
                     if stall_until > dispatch_cycle:
+                        dispatch_stall_cycles += stall_until - dispatch_cycle
                         dispatch_cycle = stall_until
                         dispatch_slots = 1
-                    lsq_stalls += 1
-            elif icls == is_store:
-                while store_queue and store_queue[0] <= dispatch_cycle:
-                    sq_popleft()
-                if len(store_queue) >= sq_entries:
-                    stall_until = sq_popleft()
-                    if stall_until > dispatch_cycle:
-                        dispatch_cycle = stall_until
-                        dispatch_slots = 1
-                    lsq_stalls += 1
+                    rob_stalls += 1
 
-            if serializing_by_class[icls] and last_commit > dispatch_cycle:
-                # Serializing ops wait for the pipeline to drain.
-                dispatch_cycle = last_commit
-                dispatch_slots = 1
+                # LSQ occupancy.
+                if memkind == 1:
+                    while load_queue and load_queue[0] <= dispatch_cycle:
+                        lq_popleft()
+                    if len(load_queue) >= lq_entries:
+                        stall_until = lq_popleft()
+                        if stall_until > dispatch_cycle:
+                            dispatch_stall_cycles += stall_until - dispatch_cycle
+                            dispatch_cycle = stall_until
+                            dispatch_slots = 1
+                        lsq_stalls += 1
+                elif memkind == 2:
+                    while store_queue and store_queue[0] <= dispatch_cycle:
+                        sq_popleft()
+                    if len(store_queue) >= sq_entries:
+                        stall_until = sq_popleft()
+                        if stall_until > dispatch_cycle:
+                            dispatch_stall_cycles += stall_until - dispatch_cycle
+                            dispatch_cycle = stall_until
+                            dispatch_slots = 1
+                        lsq_stalls += 1
 
-            # ---- issue (out-of-order) -------------------------------------
-            rotate = static.rotate
-            if rotate:
-                lane_reg = rotate[rotation % len(rotate)]
-                srcs = (lane_reg,) if static.dst >= 0 or icls == is_store else static.srcs
-                dst = lane_reg if static.dst >= 0 else -1
-            else:
-                srcs = static.srcs
-                dst = static.dst
-            ready = dispatch_cycle + 1
-            for src in srcs:
-                src_ready = reg_ready[src]
-                if src_ready > ready:
-                    ready = src_ready
+                if serializing and last_commit > dispatch_cycle:
+                    # Serializing ops wait for the pipeline to drain.
+                    dispatch_stall_cycles += last_commit - dispatch_cycle
+                    dispatch_cycle = last_commit
+                    dispatch_slots = 1
 
-            if icls == is_load:
-                issue = acquire_by_class[icls](ready, 1)
-                latency = data_access(addr, False, issue, pc)
-                complete = issue + latency
-                lq_append(complete)
-                loads += 1
-            elif icls == is_store:
-                issue = acquire_by_class[icls](ready, 1)
-                data_access(addr, True, issue, pc)
-                complete = issue + 1
-                sq_append(complete)
-                stores += 1
-            else:
-                latency = latency_by_class[icls]
-                issue = acquire_by_class[icls](ready, busy_by_class[icls])
-                complete = issue + latency
-                if icls == is_branch:
-                    branches += 1
-                    if not predict_and_update(pc, taken):
-                        squash_at = complete + mispredict_penalty
-                        if squash_at > redirect_at:
-                            redirect_at = squash_at
-                        squashes += 1
+                # ---- issue (out-of-order) ------------------------------
+                if lanes_len:
+                    srcs, dst = lanes[index % lanes_len]
+                ready = dispatch_cycle + 1
+                for src in srcs:
+                    src_ready = reg_ready[src]
+                    if src_ready > ready:
+                        ready = src_ready
+                operand_wait_cycles += ready - dispatch_cycle - 1
 
-            if dst >= 0:
-                reg_ready[dst] = complete
+                if memkind == 1:
+                    issue = acquire(ready, 1)
+                    latency = data_access(addrs[index], False, issue, pc)
+                    complete = issue + latency
+                    lq_append(complete)
+                    loads += 1
+                elif memkind == 2:
+                    issue = acquire(ready, 1)
+                    data_access(addrs[index], True, issue, pc)
+                    complete = issue + 1
+                    sq_append(complete)
+                    stores += 1
+                else:
+                    issue = acquire(ready, busy)
+                    complete = issue + op_latency
+                    if branch_run:
+                        branches += 1
+                        taken = takens_seq[index] if takens_seq is not None else takens
+                        if not predict_and_update(pc, taken):
+                            squash_at = complete + mispredict_penalty
+                            if squash_at > redirect_at:
+                                redirect_at = squash_at
+                            squashes += 1
+                if issue > ready:
+                    fu_wait_cycles += issue - ready
 
-            # ---- commit (in-order, width-limited) --------------------------
-            earliest_commit = complete + 1
-            if last_commit > earliest_commit:
-                earliest_commit = last_commit
-            if earliest_commit > commit_cycle:
-                commit_cycle = earliest_commit
-                commit_slots = 1
-            elif commit_slots < commit_width:
-                commit_slots += 1
-            else:
-                commit_cycle += 1
-                commit_slots = 1
-            last_commit = commit_cycle
-            rob_append(commit_cycle)
+                if dst >= 0:
+                    reg_ready[dst] = complete
 
-            instructions += 1
-            class_counts[icls] += 1
+                # ---- commit (in-order, width-limited) ------------------
+                earliest_commit = complete + 1
+                if last_commit > earliest_commit:
+                    earliest_commit = last_commit
+                if earliest_commit > commit_cycle:
+                    commit_stall_cycles += earliest_commit - commit_cycle
+                    commit_cycle = earliest_commit
+                    commit_slots = 1
+                elif commit_slots < commit_width:
+                    commit_slots += 1
+                else:
+                    commit_cycle += 1
+                    commit_slots = 1
+                last_commit = commit_cycle
+                rob_append(commit_cycle)
+
+                instructions += 1
+                if instructions >= next_sample:
+                    next_sample += _SAMPLE_PERIOD
+                    tracer.counter("o3.core%d" % self.core_id,
+                                   base + commit_cycle,
+                                   {"instructions": instructions,
+                                    "robStalls": rob_stalls,
+                                    "lsqStalls": lsq_stalls,
+                                    "squashes": squashes})
+            class_counts[icls] += count
 
         for icls, count in enumerate(class_counts):
             if count:
@@ -407,62 +438,70 @@ class O3Cpu(BaseCpu):
         total_cycles = last_commit
         self.stat_cycles.inc(total_cycles)
         self.stat_insts.inc(instructions)
+
+        if tracer is not None:
+            tracer.complete("o3.run", "pipeline", base,
+                            total_cycles if total_cycles > 0 else 1,
+                            TRACK_PIPELINE,
+                            args={"core": self.core_id,
+                                  "instructions": instructions,
+                                  "loads": loads, "stores": stores,
+                                  "branches": branches, "squashes": squashes,
+                                  "robStalls": rob_stalls,
+                                  "lsqStalls": lsq_stalls})
+            if fetch_stall_cycles:
+                tracer.complete("fetch-stall", "pipeline", base,
+                                fetch_stall_cycles, TRACK_FETCH)
+            if dispatch_stall_cycles:
+                tracer.complete("dispatch-stall", "pipeline", base,
+                                dispatch_stall_cycles, TRACK_DISPATCH,
+                                args={"robStalls": rob_stalls,
+                                      "lsqStalls": lsq_stalls})
+            if operand_wait_cycles:
+                tracer.complete("operand-wait", "pipeline", base,
+                                operand_wait_cycles, TRACK_ISSUE)
+            if fu_wait_cycles:
+                tracer.complete("fu-wait", "pipeline", base,
+                                fu_wait_cycles, TRACK_ISSUE)
+            if commit_stall_cycles:
+                tracer.complete("commit-stall", "pipeline", base,
+                                commit_stall_cycles, TRACK_COMMIT)
+            tracer.count("o3.instructions", instructions)
+            tracer.advance(total_cycles)
         return RunResult(total_cycles, instructions, loads, stores, branches)
 
-    def _run_traced(self, assembled, seed: int = 0) -> RunResult:
-        """The :meth:`_run_fast` timing model plus phase attribution.
+    def _run_sampled(self, assembled, seed, sampling) -> RunResult:
+        """Sampled execution: detail windows on a fresh mini-pipeline.
 
-        Byte-identical arithmetic to the fast loop — the tier-1 suite
-        asserts traced and untraced runs produce the same result and
-        stats — with stall-cycle accumulators, periodic counter samples
-        and end-of-run phase spans layered on top.  Kept as a separate
-        copy so the tracing-disabled path pays zero guard branches per
-        instruction.
+        Follows :mod:`repro.sim.sampling`'s window schedule over the same
+        predecoded run stream the full-detail loop consumes — so the
+        trace rng is drawn identically and the functional instruction
+        stream is exact; only *timing* is estimated.  Fast-forward
+        regions count instructions without touching microarchitectural
+        state; warm-up regions functionally warm caches/TLBs and train
+        the branch predictor; each detail window runs the full pipeline
+        arithmetic from a cold pipeline (but warm memory system) and its
+        CPI extrapolates over the surrounding interval.
+
+        When a single window covers the whole program the result is
+        bit-identical to the full-detail loop (the calibration suite's
+        anchor case).  Pipeline stall/squash statistics accumulate only
+        inside detail windows; cache and TLB statistics cover detail and
+        warm-up regions.  Tracer phase spans are not emitted in sampled
+        mode — sampled timing is an estimate, not an event log.
         """
-        tracer = self.tracer
-        base = tracer.now
         cfg = self.config
         mem = self.mem
         bpred = self.bpred
-        line_mask = ~(mem.config.line_size - 1)
         l1_latency = mem.config.l1_latency
         names = InstrClass.NAMES
         by_class = self.stat_by_class
 
         scoreboard_size = max(NUM_ARCH_REGS + 32, cfg.int_regs + cfg.float_regs)
-        reg_ready = [0] * scoreboard_size
 
-        rob = deque()
-        load_queue = deque()
-        store_queue = deque()
-
-        fu_alu = _FuPool(cfg.int_alus)
-        fu_mul = _FuPool(cfg.int_mult_units)
-        fu_div = _FuPool(cfg.int_div_units)
-        fu_fp = _FuPool(cfg.fp_units)
-        fu_mem = _FuPool(cfg.mem_ports)
-        fu_by_class = (
-            fu_alu,   # IALU
-            fu_mul,   # IMUL
-            fu_div,   # IDIV
-            fu_fp,    # FALU
-            fu_fp,    # FMUL
-            fu_fp,    # FDIV
-            fu_mem,   # LOAD
-            fu_mem,   # STORE
-            fu_alu,   # BRANCH
-            fu_alu,   # CALL
-            fu_alu,   # RET
-            fu_alu,   # SYSCALL
-            fu_alu,   # CSR
-            fu_alu,   # NOP
-        )
-        acquire_by_class = tuple(pool.acquire for pool in fu_by_class)
-        latency_by_class = _LATENCY_BY_CLASS
-        busy_by_class = _BUSY_BY_CLASS
-        serializing_by_class = _SERIALIZING_BY_CLASS
         ifetch = mem.ifetch
         data_access = mem.data_access
+        warm_touch = mem.warm_touch
         predict_and_update = bpred.predict_and_update
         dispatch_width = cfg.dispatch_width
         commit_width = cfg.commit_width
@@ -470,188 +509,263 @@ class O3Cpu(BaseCpu):
         lq_entries = cfg.lq_entries
         sq_entries = cfg.sq_entries
         mispredict_penalty = cfg.mispredict_penalty
-        rob_popleft = rob.popleft
-        rob_append = rob.append
-        lq_popleft = load_queue.popleft
-        lq_append = load_queue.append
-        sq_popleft = store_queue.popleft
-        sq_append = store_queue.append
-
-        dispatch_cycle = 0
-        dispatch_slots = 0
-        commit_cycle = 0
-        commit_slots = 0
-        last_commit = 0
-
-        redirect_at = 0
-        line_ready = 0
-        current_line = -1
+        is_branch = InstrClass.BRANCH
 
         instructions = 0
         loads = stores = branches = 0
-        is_load = InstrClass.LOAD
-        is_store = InstrClass.STORE
-        is_branch = InstrClass.BRANCH
-
         class_counts = [0] * _NUM_CLASSES
         rob_stalls = 0
         lsq_stalls = 0
         squashes = 0
 
-        # Phase attribution (cycles lost per pipeline stage) — the only
-        # state the fast loop does not carry.
-        fetch_stall_cycles = 0
-        dispatch_stall_cycles = 0
-        operand_wait_cycles = 0
-        fu_wait_cycles = 0
-        commit_stall_cycles = 0
-        next_sample = _SAMPLE_PERIOD
+        detailed_cycles = 0
+        detailed_insts = 0
+        windows = 0
+        in_window = False
+        window_insts = 0
+        window_base = 0
+        warm_line = -1
 
-        prev_static = None
-        rotation = 0
+        # Detail-window pipeline state; rebuilt cold on window entry.
+        reg_ready = None
+        rob = load_queue = store_queue = None
+        rob_popleft = rob_append = None
+        lq_popleft = lq_append = None
+        sq_popleft = sq_append = None
+        acquire_by_class = None
+        dispatch_cycle = dispatch_slots = 0
+        commit_cycle = commit_slots = last_commit = 0
+        redirect_at = line_ready = 0
+        current_line = -1
 
-        for static, addr, taken in assembled.trace(seed):
-            icls = static.icls
-            pc = static.pc
-            if static is prev_static:
-                rotation += 1
-            else:
-                prev_static = static
-                rotation = 0
+        placement = sampling.placement_rng(assembled.program.seed, seed)
+        segment_iter = sampling.segments(placement)
+        seg_end, seg_mode = next(segment_iter)
 
-            # ---- fetch -------------------------------------------------
-            pc_line = pc & line_mask
-            if pc_line != current_line:
-                fetch_start = dispatch_cycle if dispatch_cycle > redirect_at else redirect_at
-                latency = ifetch(pc, fetch_start)
-                miss_extra = latency - l1_latency
-                line_ready = fetch_start + (miss_extra if miss_extra > 0 else 0)
-                current_line = pc_line
+        runs = predecode.o3_stream(assembled, seed, mem._line_shift,
+                                   _LATENCY_BY_CLASS, _BUSY_BY_CLASS,
+                                   _SERIALIZING_BY_CLASS)
+        for run in runs:
+            (count, icls, pc, pc_line, srcs, dst, lanes, serializing,
+             op_latency, busy, memkind, addrs, takens) = run
+            branch_run = icls == is_branch
+            lanes_len = len(lanes) if lanes is not None else 0
+            takens_seq = takens if type(takens) is list else None
+            write = memkind == 2
+            class_counts[icls] += count
+            if memkind == 1:
+                loads += count
+            elif memkind == 2:
+                stores += count
+            elif branch_run:
+                branches += count
 
-            earliest_dispatch = line_ready
-            if redirect_at > earliest_dispatch:
-                earliest_dispatch = redirect_at
+            index = 0
+            while index < count:
+                while instructions >= seg_end:
+                    if seg_mode == DETAIL and in_window:
+                        detailed_cycles += last_commit - window_base
+                        detailed_insts += window_insts
+                        windows += 1
+                        in_window = False
+                    seg_end, seg_mode = next(segment_iter)
+                take = count - index
+                room = seg_end - instructions
+                if room < take:
+                    take = room
 
-            # ---- dispatch (in-order, width-limited) ----------------------
-            if earliest_dispatch > dispatch_cycle:
-                fetch_stall_cycles += earliest_dispatch - dispatch_cycle
-                dispatch_cycle = earliest_dispatch
-                dispatch_slots = 1
-            elif dispatch_slots < dispatch_width:
-                dispatch_slots += 1
-            else:
-                dispatch_cycle += 1
-                dispatch_slots = 1
+                if seg_mode == FAST_FORWARD:
+                    # Counted, not simulated: the speed win.
+                    index += take
+                    instructions += take
+                    continue
 
-            # ROB occupancy.
-            while rob and rob[0] <= dispatch_cycle:
-                rob_popleft()
-            if len(rob) >= rob_entries:
-                stall_until = rob_popleft()
-                if stall_until > dispatch_cycle:
-                    dispatch_stall_cycles += stall_until - dispatch_cycle
-                    dispatch_cycle = stall_until
-                    dispatch_slots = 1
-                rob_stalls += 1
+                if seg_mode == WARMUP:
+                    if pc_line != warm_line:
+                        warm_touch(pc, True)
+                        warm_line = pc_line
+                    if memkind:
+                        for j in range(index, index + take):
+                            warm_touch(addrs[j], False, write, pc)
+                    elif branch_run:
+                        if takens_seq is None:
+                            for _ in range(take):
+                                predict_and_update(pc, takens)
+                        else:
+                            for j in range(index, index + take):
+                                predict_and_update(pc, takens_seq[j])
+                    index += take
+                    instructions += take
+                    continue
 
-            # LSQ occupancy.
-            if icls == is_load:
-                while load_queue and load_queue[0] <= dispatch_cycle:
-                    lq_popleft()
-                if len(load_queue) >= lq_entries:
-                    stall_until = lq_popleft()
-                    if stall_until > dispatch_cycle:
-                        dispatch_stall_cycles += stall_until - dispatch_cycle
-                        dispatch_cycle = stall_until
+                # ---- detail window -------------------------------------
+                if not in_window:
+                    # The mini-pipeline starts at the extrapolated global
+                    # cycle, not 0: timing state keyed on absolute cycles
+                    # (the DRAM controller's queue window) must see a
+                    # monotonic clock, or every window's misses look
+                    # clustered with the previous window's.  The first
+                    # window starts at 0, keeping the single-all-covering
+                    # -window case bit-identical to full detail.
+                    if detailed_insts:
+                        base = int(instructions * detailed_cycles
+                                   / detailed_insts)
+                    else:
+                        base = instructions
+                    if base < last_commit:
+                        base = last_commit
+                    window_base = base
+                    reg_ready = [0] * scoreboard_size
+                    rob = deque()
+                    load_queue = deque()
+                    store_queue = deque()
+                    rob_popleft = rob.popleft
+                    rob_append = rob.append
+                    lq_popleft = load_queue.popleft
+                    lq_append = load_queue.append
+                    sq_popleft = store_queue.popleft
+                    sq_append = store_queue.append
+                    fu_alu = _FuPool(cfg.int_alus)
+                    fu_mul = _FuPool(cfg.int_mult_units)
+                    fu_div = _FuPool(cfg.int_div_units)
+                    fu_fp = _FuPool(cfg.fp_units)
+                    fu_mem = _FuPool(cfg.mem_ports)
+                    acquire_by_class = (
+                        fu_alu.acquire, fu_mul.acquire, fu_div.acquire,
+                        fu_fp.acquire, fu_fp.acquire, fu_fp.acquire,
+                        fu_mem.acquire, fu_mem.acquire, fu_alu.acquire,
+                        fu_alu.acquire, fu_alu.acquire, fu_alu.acquire,
+                        fu_alu.acquire, fu_alu.acquire,
+                    )
+                    dispatch_cycle = base
+                    dispatch_slots = 0
+                    commit_cycle = base
+                    commit_slots = 0
+                    last_commit = base
+                    redirect_at = base
+                    line_ready = base
+                    current_line = -1
+                    window_insts = 0
+                    in_window = True
+
+                acquire = acquire_by_class[icls]
+                if pc_line != current_line:
+                    fetch_start = dispatch_cycle if dispatch_cycle > redirect_at else redirect_at
+                    latency = ifetch(pc, fetch_start)
+                    miss_extra = latency - l1_latency
+                    line_ready = fetch_start + (miss_extra if miss_extra > 0 else 0)
+                    current_line = pc_line
+                    warm_line = pc_line
+
+                for j in range(index, index + take):
+                    earliest_dispatch = line_ready if line_ready > redirect_at else redirect_at
+                    if earliest_dispatch > dispatch_cycle:
+                        dispatch_cycle = earliest_dispatch
                         dispatch_slots = 1
-                    lsq_stalls += 1
-            elif icls == is_store:
-                while store_queue and store_queue[0] <= dispatch_cycle:
-                    sq_popleft()
-                if len(store_queue) >= sq_entries:
-                    stall_until = sq_popleft()
-                    if stall_until > dispatch_cycle:
-                        dispatch_stall_cycles += stall_until - dispatch_cycle
-                        dispatch_cycle = stall_until
+                    elif dispatch_slots < dispatch_width:
+                        dispatch_slots += 1
+                    else:
+                        dispatch_cycle += 1
                         dispatch_slots = 1
-                    lsq_stalls += 1
 
-            if serializing_by_class[icls] and last_commit > dispatch_cycle:
-                dispatch_stall_cycles += last_commit - dispatch_cycle
-                dispatch_cycle = last_commit
-                dispatch_slots = 1
+                    while rob and rob[0] <= dispatch_cycle:
+                        rob_popleft()
+                    if len(rob) >= rob_entries:
+                        stall_until = rob_popleft()
+                        if stall_until > dispatch_cycle:
+                            dispatch_cycle = stall_until
+                            dispatch_slots = 1
+                        rob_stalls += 1
 
-            # ---- issue (out-of-order) -------------------------------------
-            rotate = static.rotate
-            if rotate:
-                lane_reg = rotate[rotation % len(rotate)]
-                srcs = (lane_reg,) if static.dst >= 0 or icls == is_store else static.srcs
-                dst = lane_reg if static.dst >= 0 else -1
-            else:
-                srcs = static.srcs
-                dst = static.dst
-            ready = dispatch_cycle + 1
-            for src in srcs:
-                src_ready = reg_ready[src]
-                if src_ready > ready:
-                    ready = src_ready
-            operand_wait_cycles += ready - dispatch_cycle - 1
+                    if memkind == 1:
+                        while load_queue and load_queue[0] <= dispatch_cycle:
+                            lq_popleft()
+                        if len(load_queue) >= lq_entries:
+                            stall_until = lq_popleft()
+                            if stall_until > dispatch_cycle:
+                                dispatch_cycle = stall_until
+                                dispatch_slots = 1
+                            lsq_stalls += 1
+                    elif memkind == 2:
+                        while store_queue and store_queue[0] <= dispatch_cycle:
+                            sq_popleft()
+                        if len(store_queue) >= sq_entries:
+                            stall_until = sq_popleft()
+                            if stall_until > dispatch_cycle:
+                                dispatch_cycle = stall_until
+                                dispatch_slots = 1
+                            lsq_stalls += 1
 
-            if icls == is_load:
-                issue = acquire_by_class[icls](ready, 1)
-                latency = data_access(addr, False, issue, pc)
-                complete = issue + latency
-                lq_append(complete)
-                loads += 1
-            elif icls == is_store:
-                issue = acquire_by_class[icls](ready, 1)
-                data_access(addr, True, issue, pc)
-                complete = issue + 1
-                sq_append(complete)
-                stores += 1
-            else:
-                latency = latency_by_class[icls]
-                issue = acquire_by_class[icls](ready, busy_by_class[icls])
-                complete = issue + latency
-                if icls == is_branch:
-                    branches += 1
-                    if not predict_and_update(pc, taken):
-                        squash_at = complete + mispredict_penalty
-                        if squash_at > redirect_at:
-                            redirect_at = squash_at
-                        squashes += 1
-            if issue > ready:
-                fu_wait_cycles += issue - ready
+                    if serializing and last_commit > dispatch_cycle:
+                        dispatch_cycle = last_commit
+                        dispatch_slots = 1
 
-            if dst >= 0:
-                reg_ready[dst] = complete
+                    if lanes_len:
+                        srcs, dst = lanes[j % lanes_len]
+                    ready = dispatch_cycle + 1
+                    for src in srcs:
+                        src_ready = reg_ready[src]
+                        if src_ready > ready:
+                            ready = src_ready
 
-            # ---- commit (in-order, width-limited) --------------------------
-            earliest_commit = complete + 1
-            if last_commit > earliest_commit:
-                earliest_commit = last_commit
-            if earliest_commit > commit_cycle:
-                commit_stall_cycles += earliest_commit - commit_cycle
-                commit_cycle = earliest_commit
-                commit_slots = 1
-            elif commit_slots < commit_width:
-                commit_slots += 1
-            else:
-                commit_cycle += 1
-                commit_slots = 1
-            last_commit = commit_cycle
-            rob_append(commit_cycle)
+                    if memkind == 1:
+                        issue = acquire(ready, 1)
+                        latency = data_access(addrs[j], False, issue, pc)
+                        complete = issue + latency
+                        lq_append(complete)
+                    elif memkind == 2:
+                        issue = acquire(ready, 1)
+                        data_access(addrs[j], True, issue, pc)
+                        complete = issue + 1
+                        sq_append(complete)
+                    else:
+                        issue = acquire(ready, busy)
+                        complete = issue + op_latency
+                        if branch_run:
+                            taken = takens_seq[j] if takens_seq is not None else takens
+                            if not predict_and_update(pc, taken):
+                                squash_at = complete + mispredict_penalty
+                                if squash_at > redirect_at:
+                                    redirect_at = squash_at
+                                squashes += 1
 
-            instructions += 1
-            class_counts[icls] += 1
-            if instructions >= next_sample:
-                next_sample += _SAMPLE_PERIOD
-                tracer.counter("o3.core%d" % self.core_id,
-                               base + commit_cycle,
-                               {"instructions": instructions,
-                                "robStalls": rob_stalls,
-                                "lsqStalls": lsq_stalls,
-                                "squashes": squashes})
+                    if dst >= 0:
+                        reg_ready[dst] = complete
+
+                    earliest_commit = complete + 1
+                    if last_commit > earliest_commit:
+                        earliest_commit = last_commit
+                    if earliest_commit > commit_cycle:
+                        commit_cycle = earliest_commit
+                        commit_slots = 1
+                    elif commit_slots < commit_width:
+                        commit_slots += 1
+                    else:
+                        commit_cycle += 1
+                        commit_slots = 1
+                    last_commit = commit_cycle
+                    rob_append(commit_cycle)
+
+                window_insts += take
+                index += take
+                instructions += take
+
+        if in_window:
+            detailed_cycles += last_commit - window_base
+            detailed_insts += window_insts
+            windows += 1
+
+        # SimPoint-style extrapolation: detailed CPI over the whole
+        # stream.  A single all-covering window reproduces full detail
+        # exactly; with no window at all (degenerate config vs a tiny
+        # program) fall back to CPI 1.0 rather than claiming zero time.
+        if detailed_insts == 0:
+            total_cycles = instructions
+        elif detailed_insts == instructions and windows == 1:
+            total_cycles = detailed_cycles
+        else:
+            total_cycles = int(round(
+                (detailed_cycles / detailed_insts) * instructions))
 
         for icls, count in enumerate(class_counts):
             if count:
@@ -662,37 +776,6 @@ class O3Cpu(BaseCpu):
             self.stat_lsq_stalls.inc(lsq_stalls)
         if squashes:
             self.stat_mispredict_squashes.inc(squashes)
-
-        total_cycles = last_commit
         self.stat_cycles.inc(total_cycles)
         self.stat_insts.inc(instructions)
-
-        tracer.complete("o3.run", "pipeline", base,
-                        total_cycles if total_cycles > 0 else 1,
-                        TRACK_PIPELINE,
-                        args={"core": self.core_id,
-                              "instructions": instructions,
-                              "loads": loads, "stores": stores,
-                              "branches": branches, "squashes": squashes,
-                              "robStalls": rob_stalls,
-                              "lsqStalls": lsq_stalls})
-        if fetch_stall_cycles:
-            tracer.complete("fetch-stall", "pipeline", base,
-                            fetch_stall_cycles, TRACK_FETCH)
-        if dispatch_stall_cycles:
-            tracer.complete("dispatch-stall", "pipeline", base,
-                            dispatch_stall_cycles, TRACK_DISPATCH,
-                            args={"robStalls": rob_stalls,
-                                  "lsqStalls": lsq_stalls})
-        if operand_wait_cycles:
-            tracer.complete("operand-wait", "pipeline", base,
-                            operand_wait_cycles, TRACK_ISSUE)
-        if fu_wait_cycles:
-            tracer.complete("fu-wait", "pipeline", base,
-                            fu_wait_cycles, TRACK_ISSUE)
-        if commit_stall_cycles:
-            tracer.complete("commit-stall", "pipeline", base,
-                            commit_stall_cycles, TRACK_COMMIT)
-        tracer.count("o3.instructions", instructions)
-        tracer.advance(total_cycles)
         return RunResult(total_cycles, instructions, loads, stores, branches)

@@ -54,3 +54,6 @@ class ArmISA(ISA):
 
     def instr_size(self, rng: random.Random) -> int:
         return 4  # fixed-width A64 encoding
+
+    def instr_sizes(self, rng: random.Random, count: int):
+        return [4] * count  # instr_size draws nothing from the stream

@@ -198,6 +198,18 @@ class ISA:
     def instr_size(self, rng: random.Random) -> int:
         raise NotImplementedError
 
+    def instr_sizes(self, rng: random.Random, count: int) -> List[int]:
+        """``count`` sizes from the layout stream in one call.
+
+        Must consume ``rng`` exactly as ``count`` :meth:`instr_size`
+        calls would — program layout (and therefore every downstream
+        digest) depends on the draw order.  Subclasses override this
+        with a loop-free or comprehension form; unrolled lowering emits
+        hundreds of thousands of instructions, so the per-call method
+        dispatch is measurable.
+        """
+        return [self.instr_size(rng) for _ in range(count)]
+
     def expansion_for(self, op_kind: str, block_kind: str) -> float:
         factor = self.expansion.get((op_kind, block_kind), 1.0)
         if block_kind == BLOCK_STACK:
@@ -338,35 +350,107 @@ class ISA:
         chain: int,
         ctx: "_AsmContext",
     ) -> Tuple[List[StaticInstr], int]:
-        """Lower one IR op to ``count`` distinct static instructions."""
+        """Lower one IR op to ``count`` distinct static instructions.
+
+        This is the assembler's hot path: straight-line boot/runtime code
+        unrolls to hundreds of thousands of instructions.  Sizes are
+        drawn in bulk (:meth:`instr_sizes`) and the per-lane registers
+        precomputed, so the loop body is one :class:`StaticInstr`
+        construction.  Layout (PCs, sizes, registers, patterns) is
+        byte-identical to emitting one instruction at a time.
+        """
+        sizes = self.instr_sizes(ctx.rng, count)
+        pc = ctx.pc
+        ilp = block.ilp
+        kind = op.kind
         out: List[StaticInstr] = []
-        for index in range(count):
-            reg = ctx.chain_reg(chain % block.ilp)
-            if op.kind in _COMPUTE_CLASS:
-                fp = op.kind in (ir.OP_FALU, ir.OP_FMUL, ir.OP_FDIV)
-                reg = ctx.chain_reg(chain % block.ilp, fp=fp)
-                out.append(ctx.emit(_COMPUTE_CLASS[op.kind], srcs=(reg, ZERO_REG), dst=reg))
-            elif op.kind == ir.OP_LOAD:
-                pattern = self._unrolled_pattern(op.pattern, index)
-                out.append(
-                    ctx.emit(InstrClass.LOAD, srcs=(ADDR_REG,), dst=reg,
-                             region=op.region, pattern=pattern)
-                )
-            elif op.kind == ir.OP_STORE:
-                pattern = self._unrolled_pattern(op.pattern, index)
-                out.append(
-                    ctx.emit(InstrClass.STORE, srcs=(reg, ADDR_REG), dst=-1,
-                             region=op.region, pattern=pattern)
-                )
-            elif op.kind == ir.OP_BRANCH:
-                out.append(
-                    ctx.emit(InstrClass.BRANCH, srcs=(reg,), dst=-1,
-                             taken_probability=op.taken_probability)
-                )
-            else:
-                raise ValueError("cannot unroll IR op kind %r" % op.kind)
-            chain += 1
-        return out, chain
+        append = out.append
+        new = StaticInstr.__new__
+        if kind in _COMPUTE_CLASS:
+            icls = _COMPUTE_CLASS[kind]
+            fp = kind in (ir.OP_FALU, ir.OP_FMUL, ir.OP_FDIV)
+            base = FP_CHAIN_BASE if fp else INT_CHAIN_BASE
+            lanes = [(base + (lane % 24), (base + (lane % 24), ZERO_REG))
+                     for lane in range(ilp)]
+            for index in range(count):
+                reg, srcs = lanes[(chain + index) % ilp]
+                size = sizes[index]
+                instr = new(StaticInstr)
+                instr.pc = pc
+                instr.size = size
+                instr.icls = icls
+                instr.srcs = srcs
+                instr.dst = reg
+                instr.repeat = 1
+                instr.region = None
+                instr.pattern = None
+                instr.taken_probability = 1.0
+                instr.is_mem = False
+                instr.target_pc = 0
+                instr.rotate = ()
+                append(instr)
+                pc += size
+        elif kind == ir.OP_LOAD or kind == ir.OP_STORE:
+            regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
+            region = op.region
+            load = kind == ir.OP_LOAD
+            icls = InstrClass.LOAD if load else InstrClass.STORE
+            load_srcs = (ADDR_REG,)
+            strided = isinstance(op.pattern, ir.StridePattern)
+            for index in range(count):
+                reg = regs[(chain + index) % ilp]
+                size = sizes[index]
+                if strided:
+                    pattern: Optional[ir.AddressPattern] = ir.StridePattern(
+                        stride=op.pattern.stride,
+                        start=op.pattern.start + index * op.pattern.stride)
+                else:
+                    pattern = op.pattern
+                instr = new(StaticInstr)
+                instr.pc = pc
+                instr.size = size
+                instr.icls = icls
+                if load:
+                    instr.srcs = load_srcs
+                    instr.dst = reg
+                else:
+                    instr.srcs = (reg, ADDR_REG)
+                    instr.dst = -1
+                instr.repeat = 1
+                instr.region = region
+                instr.pattern = pattern
+                instr.taken_probability = 1.0
+                instr.is_mem = True
+                instr.target_pc = 0
+                instr.rotate = ()
+                append(instr)
+                pc += size
+        elif kind == ir.OP_BRANCH:
+            icls = InstrClass.BRANCH
+            regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
+            probability = op.taken_probability
+            for index in range(count):
+                reg = regs[(chain + index) % ilp]
+                size = sizes[index]
+                instr = new(StaticInstr)
+                instr.pc = pc
+                instr.size = size
+                instr.icls = icls
+                instr.srcs = (reg,)
+                instr.dst = -1
+                instr.repeat = 1
+                instr.region = None
+                instr.pattern = None
+                instr.taken_probability = probability
+                instr.is_mem = False
+                instr.target_pc = 0
+                instr.rotate = ()
+                append(instr)
+                pc += size
+        else:
+            raise ValueError("cannot unroll IR op kind %r" % op.kind)
+        ctx.pc = pc
+        return out, chain + count
 
     @staticmethod
     def _unrolled_pattern(

@@ -385,8 +385,76 @@ class Program:
         for routine in self.routines.values():
             check(routine.body)
 
+    def fingerprint(self) -> Optional[tuple]:
+        """Structural identity of the program, or None if uncacheable.
+
+        Two programs with equal fingerprints assemble to byte-identical
+        layouts (same PCs, sizes, registers, addresses) and trace
+        identically for a given run seed, so the assembler caches its
+        output under ``(isa_name, fingerprint)``.  Everything layout- or
+        trace-relevant is captured: the layout-rng seed, the ASLR offset,
+        routine order and segments, block structure, op counts, region
+        placements, pattern parameters and branch probabilities.  Unknown
+        :class:`AddressPattern` subclasses make the program uncacheable
+        (None) rather than risking a false cache hit.
+        """
+        routines = []
+        for routine in self.routines.values():
+            body = _node_fingerprint(routine.body)
+            if body is None:
+                return None
+            routines.append((routine.name, routine.segment, body))
+        return (self.name, self.seed, self.space.aslr_offset, self.entry,
+                tuple(routines))
+
     def __repr__(self) -> str:
         return "Program(%s, %d routines)" % (self.name, len(self.routines))
+
+
+def _pattern_fingerprint(pattern: Optional[AddressPattern]):
+    """Hashable identity of a pattern; None marks unknown subclasses."""
+    if pattern is None:
+        return ("none",)
+    cls = type(pattern)
+    if cls is StridePattern:
+        return ("s", pattern.stride, pattern.start)
+    if cls is RandomPattern:
+        return ("r", pattern.align)
+    if cls is HotColdPattern:
+        return ("h", pattern.hot_fraction, pattern.hot_probability,
+                pattern.align)
+    return None
+
+
+def _node_fingerprint(node: StructureNode):
+    """Hashable identity of a structure node; None propagates upward."""
+    if isinstance(node, Block):
+        ops = []
+        for op in node.ops:
+            pattern = _pattern_fingerprint(op.pattern)
+            if pattern is None:
+                return None
+            region = (op.region.name, op.region.base, op.region.size) \
+                if op.region is not None else None
+            ops.append((op.kind, op.count, region, pattern,
+                        op.taken_probability, op.unrolled))
+        return ("b", node.kind, node.ilp, tuple(ops))
+    if isinstance(node, Seq):
+        items = []
+        for item in node.items:
+            fp = _node_fingerprint(item)
+            if fp is None:
+                return None
+            items.append(fp)
+        return ("q", tuple(items))
+    if isinstance(node, Loop):
+        body = _node_fingerprint(node.body)
+        if body is None:
+            return None
+        return ("l", node.trips, body)
+    if isinstance(node, Call):
+        return ("c", node.routine)
+    return None
 
 
 # ---------------------------------------------------------------------------

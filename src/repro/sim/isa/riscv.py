@@ -57,3 +57,8 @@ class RiscvISA(ISA):
 
     def instr_size(self, rng: random.Random) -> int:
         return 2 if rng.random() < self.compressed_fraction else 4
+
+    def instr_sizes(self, rng: random.Random, count: int):
+        random_ = rng.random
+        compressed = self.compressed_fraction
+        return [2 if random_() < compressed else 4 for _ in range(count)]

@@ -79,3 +79,20 @@ class X86ISA(ISA):
             if pick < bound:
                 return size
         return self._SIZES[-1]
+
+    def instr_sizes(self, rng: random.Random, count: int):
+        randrange = rng.randrange
+        total = self._total
+        cumulative = self._CUMULATIVE
+        fallback = self._SIZES[-1]
+        out = []
+        append = out.append
+        for _ in range(count):
+            pick = randrange(total)
+            for bound, size in cumulative:
+                if pick < bound:
+                    append(size)
+                    break
+            else:
+                append(fallback)
+        return out

@@ -20,15 +20,15 @@ def _is_pow2(value: int) -> bool:
 
 
 class _CounterView(Stat):
-    """A gem5-protocol stat backed by a plain attribute on the cache.
+    """A gem5-protocol stat backed by a plain attribute on its owner.
 
     The access path increments ``owner.<attr>`` as a bare integer (no
     bound-method call per access); this view keeps the reset/dump
     protocol working by remembering the attribute's value at the last
-    reset and reporting the delta.
+    reset and reporting the delta.  Used by the cache and TLB models.
     """
 
-    def __init__(self, name: str, owner: "Cache", attr: str, desc: str = ""):
+    def __init__(self, name: str, owner: object, attr: str, desc: str = ""):
         super().__init__(name, desc)
         self._owner = owner
         self._attr = attr

@@ -124,6 +124,11 @@ class CoreMemSystem:
         self.itlb = Tlb("itlb", cfg.itlb_entries, stats_parent=stats)
         self.dtlb = Tlb("dtlb", cfg.dtlb_entries, stats_parent=stats)
         self._line_shift = cfg.line_size.bit_length() - 1
+        # Latencies as plain ints: the access paths below run once per
+        # simulated memory instruction, so the config-attribute chain is
+        # worth hoisting out of them.
+        self._l1_latency = cfg.l1_latency
+        self._l2_latency = cfg.l2_latency
         self._now = 0
         self._iprefetcher = make_prefetcher(cfg.prefetch_i_kind,
                                             cfg.prefetch_i_degree)
@@ -135,16 +140,17 @@ class CoreMemSystem:
 
     def ifetch(self, addr: int, now_cycle: int = 0) -> int:
         """Fetch the line containing ``addr``; returns latency in cycles."""
-        latency = self.config.l1_latency + self.itlb.translate(addr)
+        latency = self._l1_latency + self.itlb.translate(addr)
         line = addr >> self._line_shift
         if self.l1i.access_line(line):
             return latency
+        l2 = self.l2
         for fill in self._iprefetcher.on_miss(addr, line):
             self.l1i.fill_line(fill)
-            self.l2.fill_line(fill)
+            l2.fill_line(fill)
             self.stat_prefetches.inc()
-        latency += self.config.l2_latency
-        if self.l2.access_line(line):
+        latency += self._l2_latency
+        if l2.access_line(line):
             return latency
         return latency + self.dram.access(addr, now_cycle)
 
@@ -155,16 +161,17 @@ class CoreMemSystem:
         ``pc`` identifies the accessing instruction for PC-indexed
         prefetchers; timing is unaffected by it otherwise.
         """
-        latency = self.config.l1_latency + self.dtlb.translate(addr)
+        latency = self._l1_latency + self.dtlb.translate(addr)
         line = addr >> self._line_shift
         if self.l1d.access_line(line, write):
             return latency
+        l2 = self.l2
         for fill in self._dprefetcher.on_miss(pc, line):
             self.l1d.fill_line(fill)
-            self.l2.fill_line(fill)
+            l2.fill_line(fill)
             self.stat_prefetches.inc()
-        latency += self.config.l2_latency
-        if self.l2.access_line(line, write):
+        latency += self._l2_latency
+        if l2.access_line(line, write):
             return latency
         return latency + self.dram.access(addr, now_cycle)
 

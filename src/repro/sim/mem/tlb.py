@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.sim.mem.cache import _CounterView
 from repro.sim.statistics import StatGroup
 
 PAGE_SHIFT = 12  # 4 KB pages on both simulated platforms
@@ -37,10 +38,19 @@ class Tlb:
         self._tlb: Dict[int, None] = {}
         self._walk_cache: Dict[int, None] = {}
 
+        # Hot-path counters are plain ints; the registered stats are
+        # views over them (same treatment as the cache counters).
+        self.accesses = 0
+        self.misses = 0
+        self.walks = 0
+
         stats = (stats_parent or StatGroup("orphan")).group(name)
-        self.stat_accesses = stats.scalar("accesses", "translations requested")
-        self.stat_misses = stats.scalar("misses", "TLB misses")
-        self.stat_walks = stats.scalar("walks", "full page-table walks")
+        self.stat_accesses = stats.add(_CounterView(
+            "accesses", self, "accesses", "translations requested"))
+        self.stat_misses = stats.add(_CounterView(
+            "misses", self, "misses", "TLB misses"))
+        self.stat_walks = stats.add(_CounterView(
+            "walks", self, "walks", "full page-table walks"))
 
         #: Optional :class:`repro.obs.TlbProfiler`.
         self.profiler = None
@@ -48,34 +58,36 @@ class Tlb:
     def translate(self, addr: int) -> int:
         """Translate; returns extra cycles spent on TLB handling (0 on hit)."""
         page = addr >> PAGE_SHIFT
-        self.stat_accesses.inc()
-        if page in self._tlb:
-            del self._tlb[page]
-            self._tlb[page] = None  # refresh LRU position
+        tlb = self._tlb
+        self.accesses += 1
+        if page in tlb:
+            del tlb[page]
+            tlb[page] = None  # refresh LRU position
             return 0
-        self.stat_misses.inc()
+        self.misses += 1
         if self.profiler is not None:
             self.profiler.on_miss(page)
         penalty = self._walk(page)
-        if len(self._tlb) >= self.entries:
-            del self._tlb[next(iter(self._tlb))]
-        self._tlb[page] = None
+        if len(tlb) >= self.entries:
+            del tlb[next(iter(tlb))]
+        tlb[page] = None
         return penalty
 
     def _walk(self, page: int) -> int:
         """Cost of the page walk; fills the walk cache."""
         # Upper-level directory entry covers a 2 MB region (512 pages).
         directory = page >> 9
-        if directory in self._walk_cache:
-            del self._walk_cache[directory]
-            self._walk_cache[directory] = None
+        walk_cache = self._walk_cache
+        if directory in walk_cache:
+            del walk_cache[directory]
+            walk_cache[directory] = None
             return self.cached_walk_cycles
-        self.stat_walks.inc()
+        self.walks += 1
         if self.profiler is not None:
             self.profiler.on_walk(directory)
-        if len(self._walk_cache) >= self.walk_cache_entries:
-            del self._walk_cache[next(iter(self._walk_cache))]
-        self._walk_cache[directory] = None
+        if len(walk_cache) >= self.walk_cache_entries:
+            del walk_cache[next(iter(walk_cache))]
+        walk_cache[directory] = None
         # Full walk: a handful of dependent memory accesses; the hierarchy
         # charges these as roughly two L2-latency lookups.
         return self.cached_walk_cycles * 6

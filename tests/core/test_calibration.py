@@ -1,0 +1,67 @@
+"""Sampling calibration: the ``accurate`` preset must hold sampled CPI
+within the documented 5% of full-detail CPI on every seed function, with
+the instruction stream functionally exact throughout."""
+
+import pytest
+
+from repro.core.calibration import CalibrationReport, calibrate
+from repro.sim.sampling import SamplingConfig
+
+CPI_BOUND = 0.05
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibrate(SamplingConfig.parse("accurate"))
+
+
+def test_requires_a_sampling_config():
+    with pytest.raises(ValueError):
+        calibrate(None)
+
+
+def test_covers_full_catalog(report):
+    from repro.workloads.catalog import (
+        HOTEL_FUNCTIONS,
+        ONLINESHOP_FUNCTIONS,
+        STANDALONE_FUNCTIONS,
+    )
+
+    expected = {fn.name for fn in STANDALONE_FUNCTIONS}
+    expected |= {fn.name for fn in ONLINESHOP_FUNCTIONS}
+    expected |= {fn.name for fn in HOTEL_FUNCTIONS}
+    assert {row.function for row in report.rows} == expected
+    # Cold and warm phases for every function.
+    assert len(report.rows) == 2 * len(expected)
+
+
+def test_functionally_exact(report):
+    assert report.functional_exact
+    for row in report.rows:
+        assert row.insts_match, row.function
+
+
+def test_cpi_error_within_documented_bound(report):
+    report.assert_bounded(CPI_BOUND)
+    assert report.worst_cpi_error <= CPI_BOUND
+
+
+def test_assert_bounded_raises_when_exceeded(report):
+    if report.worst_cpi_error == 0.0:
+        pytest.skip("zero measured error; nothing to exceed")
+    with pytest.raises(AssertionError):
+        report.assert_bounded(report.worst_cpi_error / 2)
+
+
+def test_report_renders(report):
+    text = report.render()
+    assert "worst" in text
+    assert report.worst.function in text
+
+
+def test_report_round_trips_rows(report):
+    assert isinstance(report, CalibrationReport)
+    for row in report.rows:
+        assert row.full_cycles > 0
+        assert row.sampled_cycles > 0
+        assert row.phase in ("cold", "warm")

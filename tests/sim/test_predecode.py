@@ -1,0 +1,137 @@
+"""Block predecode cache equivalence: cached replay is bit-identical to
+the legacy trace path — RunResult, full stat dumps, and trace event logs
+— across ISAs, CPU models, seeds, and program shapes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.isa import ir, predecode
+from repro.sim.system import SimulatedSystem
+
+ISAS = ("riscv", "x86", "arm")
+
+
+def build_program(name="p", seed=0, ialu=120, trips=20, loads=4, stores=2,
+                  branches=16, taken_probability=0.7, random_pattern=False,
+                  region_size=1 << 14):
+    program = ir.Program(name, seed=seed)
+    buf = program.space.alloc("buf", region_size)
+    pattern = ir.RandomPattern() if random_pattern else None
+    init = ir.straightline_block(160, data_region=buf)
+    body = ir.Seq([
+        ir.compute_block(ialu=ialu, imul=8, falu=6),
+        ir.Loop(ir.touch_block(buf, loads=loads, stores=stores,
+                               pattern=pattern), trips=trips),
+        ir.Block([ir.IROp(ir.OP_BRANCH, count=branches,
+                          taken_probability=taken_probability)]),
+    ])
+    program.add_routine(ir.Routine("helper", init))
+    program.add_routine(
+        ir.Routine("main", ir.Seq([init, ir.Call("helper"), body])),
+        entry=True)
+    return program
+
+
+def run_with(enabled, program, isa, model, seed):
+    previous = predecode.set_enabled(enabled)
+    try:
+        system = SimulatedSystem("s", isa)
+        result = system.run(1, program, model=model, seed=seed)
+        return result, system.dump_stats()
+    finally:
+        predecode.set_enabled(previous)
+
+
+def assert_equivalent(program, isa, model, seed=0):
+    cached, cached_stats = run_with(True, program, isa, model, seed)
+    legacy, legacy_stats = run_with(False, program, isa, model, seed)
+    assert (cached.cycles, cached.instructions, cached.loads,
+            cached.stores, cached.branches) == (
+        legacy.cycles, legacy.instructions, legacy.loads,
+        legacy.stores, legacy.branches)
+    assert cached_stats == legacy_stats
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("isa", ISAS)
+    @pytest.mark.parametrize("model", ["atomic", "o3"])
+    def test_models_bit_identical(self, isa, model):
+        assert_equivalent(build_program(seed=3), isa, model, seed=3)
+
+    @pytest.mark.parametrize("isa", ISAS)
+    def test_random_patterns_draw_identically(self, isa):
+        program = build_program(seed=5, random_pattern=True)
+        assert_equivalent(program, isa, "o3", seed=5)
+
+    def test_warming_equivalent(self):
+        program = build_program(seed=1)
+        previous = predecode.set_enabled(True)
+        try:
+            cached_sys = SimulatedSystem("w", "riscv")
+            cached_sys.warm(1, program, seed=1)
+            predecode.set_enabled(False)
+            legacy_sys = SimulatedSystem("w", "riscv")
+            legacy_sys.warm(1, program, seed=1)
+        finally:
+            predecode.set_enabled(previous)
+        assert cached_sys.dump_stats() == legacy_sys.dump_stats()
+
+    def test_repeated_replays_reuse_decode(self):
+        """A second replay (fresh system, reused decode) is identical."""
+        program = build_program(seed=2)
+        first_sys = SimulatedSystem("s", "riscv")
+        first = first_sys.run(1, program, model="o3", seed=2)
+        assembled = first_sys.assemble(program)
+        assert getattr(assembled, "_predecode", None)
+        again_sys = SimulatedSystem("s", "riscv")
+        again = again_sys.run(1, program, model="o3", seed=2)
+        assert (first.cycles, first.instructions) == (
+            again.cycles, again.instructions)
+
+    def test_program_length_matches_execution(self):
+        program = build_program(seed=4)
+        system = SimulatedSystem("s", "riscv")
+        result = system.run(1, program, model="o3", seed=4)
+        assembled = system.assemble(program)
+        assert predecode.program_length(assembled) == result.instructions
+
+
+class TestTracedEquivalence:
+    def test_trace_event_logs_identical(self):
+        """The obs layer's frozen event log must not see the cache."""
+        from repro.core.harness import ExperimentHarness
+        from repro.core.scale import SimScale
+        from repro.obs.tracer import Tracer
+        from repro.workloads.catalog import STANDALONE_FUNCTIONS
+
+        fn = STANDALONE_FUNCTIONS[0]
+        scale = SimScale(512, 16)
+        captures = {}
+        for enabled in (True, False):
+            previous = predecode.set_enabled(enabled)
+            try:
+                tracer = Tracer()
+                harness = ExperimentHarness(isa="riscv", scale=scale,
+                                            tracer=tracer)
+                harness.measure_function(fn)
+                captures[enabled] = tracer.freeze()
+            finally:
+                predecode.set_enabled(previous)
+        assert captures[True] == captures[False]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    isa=st.sampled_from(ISAS),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    trips=st.integers(min_value=1, max_value=40),
+    taken_probability=st.floats(min_value=0.0, max_value=1.0),
+    random_pattern=st.booleans(),
+)
+def test_property_equivalence(isa, seed, trips, taken_probability,
+                              random_pattern):
+    program = build_program(seed=seed, trips=trips,
+                            taken_probability=taken_probability,
+                            random_pattern=random_pattern)
+    assert_equivalent(program, isa, "o3", seed=seed)
