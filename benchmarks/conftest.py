@@ -17,6 +17,7 @@ import pytest
 from repro.core import reproduce
 from repro.core.harness import clear_boot_checkpoint_cache
 from repro.core.scale import SimScale
+from repro.core.spec import MeasurementSpec
 from repro.workloads.catalog import (
     HOTEL_FUNCTIONS,
     ONLINESHOP_FUNCTIONS,
@@ -67,26 +68,34 @@ def result_cache():
 
 @pytest.fixture(scope="session")
 def riscv_standalone_shop(result_cache):
-    return reproduce.measure_standalone_shop("riscv", BENCH_SCALE,
-                                             cache=result_cache or False)
+    return reproduce.measure(
+        MeasurementSpec(function="standalone+shop", isa="riscv",
+                        scale=BENCH_SCALE),
+        cache=result_cache or False)
 
 
 @pytest.fixture(scope="session")
 def x86_standalone_shop(result_cache):
-    return reproduce.measure_standalone_shop("x86", BENCH_SCALE,
-                                             cache=result_cache or False)
+    return reproduce.measure(
+        MeasurementSpec(function="standalone+shop", isa="x86",
+                        scale=BENCH_SCALE),
+        cache=result_cache or False)
 
 
 @pytest.fixture(scope="session")
 def riscv_hotel(result_cache):
-    return reproduce.measure_hotel("riscv", BENCH_SCALE,
-                                   cache=result_cache or False)
+    return reproduce.measure(
+        MeasurementSpec(function="hotel", isa="riscv", scale=BENCH_SCALE,
+                        db="cassandra"),
+        cache=result_cache or False)
 
 
 @pytest.fixture(scope="session")
 def x86_hotel(result_cache):
-    return reproduce.measure_hotel("x86", BENCH_SCALE,
-                                   cache=result_cache or False)
+    return reproduce.measure(
+        MeasurementSpec(function="hotel", isa="x86", scale=BENCH_SCALE,
+                        db="cassandra"),
+        cache=result_cache or False)
 
 
 @pytest.fixture(scope="session")

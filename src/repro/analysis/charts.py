@@ -111,6 +111,36 @@ def serving_timeline(samples: Sequence[Sequence[int]], width: int = 60) -> str:
     return "\n".join(lines)
 
 
+def cluster_timeline(node_samples: Sequence[Sequence], width: int = 60) -> str:
+    """Per-node instance population over a clustered serve run.
+
+    ``node_samples`` is the ``ServeResult.node_samples`` list —
+    ``(tick, (n0_population, n1_population, ...))`` tuples recorded by
+    :class:`~repro.serverless.platform.ClusterPlatform` whenever any
+    node's population changes.  One sparkline row per node, on the same
+    peak-preserving resampling as :func:`serving_timeline`; a node that
+    went down shows its population dropping to zero until recovery.
+    Purely a function of its input: byte-identical for byte-identical
+    runs.
+    """
+    if not node_samples:
+        raise ValueError("no node samples to chart")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    start = node_samples[0][0]
+    span = max(1, node_samples[-1][0] - start)
+    nodes = len(node_samples[0][1])
+    lines = []
+    for node in range(nodes):
+        series = _resample_max(
+            [(sample[0], sample[1][node]) for sample in node_samples],
+            start, span, width)
+        lines.append("%-10s %s  peak %d" % (
+            "n%d" % node, sparkline(series), int(max(series))))
+    lines.append("%-10s ticks %d..%d" % ("", start, start + span))
+    return "\n".join(lines)
+
+
 def _resample_max(points: List, start: int, span: int, width: int) -> List[float]:
     """Peak-preserving resample of a step signal onto ``width`` bins."""
     bins = [0.0] * width

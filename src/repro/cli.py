@@ -377,10 +377,9 @@ def cmd_serve(args) -> int:
     """
     import json
 
-    from repro.serverless.engine import install_docker
     from repro.serverless.loadgen import arrival_ticks
     from repro.serverless.metrics import MetricsCollector
-    from repro.serverless.router import Router
+    from repro.serverless.platform import ClusterConfig, make_platform
     from repro.serverless.scaler import ScalingConfig
 
     function = _resolve_function(args.function)
@@ -397,25 +396,33 @@ def cmd_serve(args) -> int:
                 "%s needs a database; pass --db (cassandra/mongodb/...)"
                 % function.name)
         services = _hotel_services(args.db).services_for(function)
-    engine = install_docker(args.isa)
-    engine.registry.push(function.image(args.isa))
+    cluster = None
+    if args.nodes:
+        cluster = ClusterConfig(nodes=args.nodes, placement=args.placement,
+                                node_capacity=args.node_capacity,
+                                node_fail_rate=args.node_fail)
+    platform = make_platform(args.isa, cluster=cluster, seed=args.seed)
+    platform.registry.push(function.image(args.isa))
     scaling = ScalingConfig(
         target_concurrency=args.target_concurrency,
         min_instances=args.min_instances,
         max_instances=args.max_instances,
         queue_capacity=args.queue_capacity,
     )
-    router = Router(engine, seed=args.seed)
-    router.deploy(function.name, function.name, function.runtime_name,
-                  function.handler, services=services, scaling=scaling)
+    platform.deploy(function.name, function.name, function.runtime_name,
+                    function.handler, services=services, scaling=scaling)
     arrivals = arrival_ticks(args.profile, rps=args.rps,
                              requests=args.requests, seed=args.seed)
-    result = router.serve(function.name, arrivals,
-                          payload_factory=function.default_payload)
+    result = platform.serve(function.name, arrivals,
+                            payload_factory=function.default_payload)
 
     print("%s on simulated %s: %s arrivals, %g rps, %d requests (seed %d)" % (
         function.name, args.isa, args.profile, args.rps, args.requests,
         args.seed))
+    if cluster is not None:
+        # Only clustered serves print the platform line: with --nodes
+        # unset the output stays byte-identical to the single-host CLI.
+        print("platform: %s" % platform.description)
     print(result.summary())
     print()
     print("scaling events:")
@@ -429,6 +436,12 @@ def cmd_serve(args) -> int:
 
         print()
         print(serving_timeline(result.samples))
+    if result.node_samples:
+        from repro.analysis.charts import cluster_timeline
+
+        print()
+        print("per-node instances:")
+        print(cluster_timeline(result.node_samples))
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
@@ -694,6 +707,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pool ceiling (default 8)")
     serve.add_argument("--queue-capacity", type=int, default=64,
                        help="bounded queue; overflow is rejected (default 64)")
+    serve.add_argument("--nodes", type=int, default=0,
+                       help="serve on an N-node simulated cluster "
+                            "(default 0: the classic single host)")
+    serve.add_argument("--placement", default="binpack",
+                       choices=("binpack", "spread"),
+                       help="cluster scheduler policy (default binpack; "
+                            "only with --nodes)")
+    serve.add_argument("--node-capacity", type=int, default=None,
+                       help="instances one node can host (default "
+                            "unbounded; only with --nodes)")
+    serve.add_argument("--node-fail", type=float, default=0.0,
+                       help="per-evaluation node-failure probability "
+                            "(default 0; only with --nodes)")
     serve.add_argument("--db", default=None,
                        help="datastore for hotel-suite functions")
     serve.add_argument("--out", default=None,

@@ -47,9 +47,13 @@ from repro.core.rescache import ResultCache
 from repro.core.results import MeasurementTable
 from repro.core.scale import BENCH, NATIVE, SimScale, TEST
 from repro.core.spec import MeasurementSpec
+# The cluster config rides on MeasurementSpec (spec.cluster) the way
+# ScalingConfig does, so the measurement package re-exports it.
+from repro.serverless.platform import ClusterConfig
 
 __all__ = [
     "BENCH",
+    "ClusterConfig",
     "ExperimentHarness",
     "FunctionMeasurement",
     "MeasurementSpec",

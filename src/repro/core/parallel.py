@@ -54,6 +54,7 @@ def task_digest(task: MeasurementSpec) -> str:
     platform = task.platform or platform_for(task.isa)
     scaling = getattr(task, "scaling", None)
     sampling = getattr(task, "sampling", None)
+    cluster = getattr(task, "cluster", None)
     return measurement_digest(
         function=task.function,
         isa=task.isa,
@@ -65,6 +66,7 @@ def task_digest(task: MeasurementSpec) -> str:
         requests=task.requests,
         scaling=scaling.fingerprint() if scaling is not None else None,
         sampling=sampling.fingerprint() if sampling is not None else None,
+        cluster=cluster.fingerprint() if cluster is not None else None,
     )
 
 

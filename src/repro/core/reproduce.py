@@ -8,7 +8,6 @@ that want the data without pytest.
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -120,54 +119,34 @@ def measure(
     return measurements
 
 
-def _deprecated(old: str) -> None:
-    warnings.warn(
-        "%s() is deprecated; build a MeasurementSpec and call measure()"
-        % old, DeprecationWarning, stacklevel=3)
+def _removed(old: str, example: str) -> "RuntimeError":
+    return RuntimeError(
+        "%s() was removed: build a MeasurementSpec and call measure() "
+        "instead, e.g. measure(MeasurementSpec(%s)) — see "
+        "docs/METHODOLOGY.md" % (old, example))
 
 
-def measure_functions(
-    functions: Iterable,
-    isa: str,
-    scale: SimScale = BENCH,
-    services_for=None,
-    seed: int = 0,
-    progress=None,
-    db: Optional[str] = None,
-    jobs: Optional[int] = None,
-    cache=None,
-    requests: int = 10,
-) -> Dict[str, FunctionMeasurement]:
-    """Deprecated shim: forwards to :func:`measure` with an explicit
-    function list (old signature preserved)."""
-    _deprecated("measure_functions")
-    functions = list(functions)
-    spec = MeasurementSpec(function="standalone", isa=isa, scale=scale,
-                           seed=seed, db=db, requests=requests)
-    return measure(spec, jobs=jobs, cache=cache, progress=progress,
-                   functions=functions, services_for=services_for)
+def measure_functions(*_args, **_kwargs):
+    """Removed (was a PR-2 deprecation shim): use
+    :class:`~repro.core.spec.MeasurementSpec` + :func:`measure`."""
+    raise _removed("measure_functions",
+                   'function="fibonacci-python", isa="riscv"')
 
 
-def measure_standalone_shop(isa: str, scale: SimScale = BENCH, seed: int = 0,
-                            progress=None, jobs: Optional[int] = None,
-                            cache=None) -> Dict[str, FunctionMeasurement]:
-    """Deprecated shim for the Fig 4.4/4.12/4.15-4.18 batch: forwards to
-    :func:`measure` with the ``standalone+shop`` suite alias."""
-    _deprecated("measure_standalone_shop")
-    spec = MeasurementSpec(function="standalone+shop", isa=isa, scale=scale,
-                           seed=seed)
-    return measure(spec, jobs=jobs, cache=cache, progress=progress)
+def measure_standalone_shop(*_args, **_kwargs):
+    """Removed (was a PR-2 deprecation shim): use
+    :class:`~repro.core.spec.MeasurementSpec` + :func:`measure` with the
+    ``standalone+shop`` suite alias."""
+    raise _removed("measure_standalone_shop",
+                   'function="standalone+shop", isa="riscv"')
 
 
-def measure_hotel(isa: str, scale: SimScale = BENCH, db: str = "cassandra",
-                  seed: int = 0, progress=None, jobs: Optional[int] = None,
-                  cache=None) -> Dict[str, FunctionMeasurement]:
-    """Deprecated shim for the Fig 4.5/4.14/4.19 batch: forwards to
-    :func:`measure` with the ``hotel`` suite alias."""
-    _deprecated("measure_hotel")
-    spec = MeasurementSpec(function="hotel", isa=isa, scale=scale, seed=seed,
-                           db=db)
-    return measure(spec, jobs=jobs, cache=cache, progress=progress)
+def measure_hotel(*_args, **_kwargs):
+    """Removed (was a PR-2 deprecation shim): use
+    :class:`~repro.core.spec.MeasurementSpec` + :func:`measure` with the
+    ``hotel`` suite alias."""
+    raise _removed("measure_hotel",
+                   'function="hotel", isa="riscv", db="cassandra"')
 
 
 def qemu_database_comparison(progress=None) -> Dict[Tuple[str, str], Tuple[float, float]]:

@@ -69,6 +69,7 @@ def measurement_digest(
     requests: int = 10,
     scaling: Any = None,
     sampling: Any = None,
+    cluster: Any = None,
 ) -> str:
     """Content address of one measurement.
 
@@ -78,9 +79,12 @@ def measurement_digest(
     the :meth:`~repro.serverless.scaler.ScalingConfig.fingerprint` tuple
     of a serving experiment, ``sampling`` the
     :meth:`~repro.sim.sampling.SamplingConfig.fingerprint` of a sampled
-    run; each extends the key *only when set*, so every digest minted
-    before the corresponding layer existed stays valid — and a sampled
-    (approximate) result can never alias a full-detail one.
+    run, ``cluster`` the
+    :meth:`~repro.serverless.platform.ClusterConfig.fingerprint` of a
+    multi-node serving experiment; each extends the key *only when set*,
+    so every digest minted before the corresponding layer existed stays
+    valid — and a sampled (approximate) or cluster-served result can
+    never alias a full-detail single-host one.
     """
     from repro import __version__
 
@@ -92,6 +96,8 @@ def measurement_digest(
         key = key + (scaling,)
     if sampling is not None:
         key = key + (sampling,)
+    if cluster is not None:
+        key = key + (cluster,)
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 

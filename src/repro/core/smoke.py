@@ -23,6 +23,12 @@ Beyond the full-detail batch, a smoke run can time two extra phases:
 * ``legacy`` — the same batch with the predecode cache disabled
   (``REPRO_PREDECODE=0`` semantics), giving a same-machine baseline so
   speedups are comparable across differently-provisioned CI hosts.
+
+Every run also times a pinned clustered serve (``cluster_serve``): a
+burst arrival trace through :class:`~repro.serverless.platform.
+ClusterPlatform` at three nodes with spread placement, so the trajectory
+records the cluster scheduling path's wall-clock alongside the
+simulation batches.
 """
 
 from __future__ import annotations
@@ -78,6 +84,32 @@ def _run_batches(jobs, cache, sampling=None) -> Tuple[Dict[str, Any], int, float
     return batches, total_instructions, wall_total
 
 
+def _run_cluster_serve() -> Dict[str, Any]:
+    """Time the pinned clustered serve (the Platform API's hot path)."""
+    from repro.serverless.loadgen import arrival_ticks
+    from repro.serverless.platform import ClusterConfig, make_platform
+    from repro.workloads.catalog import get_function
+
+    function = get_function("fibonacci-python")
+    cluster = ClusterConfig(nodes=3, placement="spread")
+    start = time.perf_counter()
+    platform = make_platform("riscv", cluster=cluster, seed=0)
+    platform.registry.push(function.image("riscv"))
+    platform.deploy(function.name, function.name, function.runtime_name,
+                    function.handler)
+    arrivals = arrival_ticks("burst", rps=80.0, requests=150, seed=0)
+    result = platform.serve(function.name, arrivals,
+                            payload_factory=function.default_payload)
+    wall = time.perf_counter() - start
+    return {
+        "nodes": cluster.nodes,
+        "placement": cluster.placement,
+        "requests": len(result.records),
+        "cross_node": result.cross_node,
+        "wall_s": round(wall, 3),
+    }
+
+
 def run_smoke(jobs: Optional[int] = None, cache=False,
               sampling: Optional[str] = "accurate",
               legacy: bool = False) -> Dict[str, Any]:
@@ -107,6 +139,8 @@ def run_smoke(jobs: Optional[int] = None, cache=False,
         "simulated_instructions": total_instructions,
         "wall_s": round(wall_total, 3),
     }
+
+    report["cluster_serve"] = _run_cluster_serve()
 
     config = SamplingConfig.parse(sampling)
     if config is not None:
@@ -218,6 +252,11 @@ def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
     for name, batch in report["batches"].items():
         lines.append("  %-24s %2d functions  %8.2fs"
                      % (name, batch["functions"], batch["wall_s"]))
+    cluster = report.get("cluster_serve")
+    if cluster:
+        lines.append("  cluster serve (%d nodes, %s): %d requests  %8.2fs"
+                     % (cluster["nodes"], cluster["placement"],
+                        cluster["requests"], cluster["wall_s"]))
     sampled = report.get("sampled")
     if sampled:
         lines.append("  sampled (%s): %.2fs" % (

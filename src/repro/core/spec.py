@@ -22,7 +22,7 @@ from typing import Any, Dict, Optional
 from repro.core.scale import BENCH, SimScale
 
 _FIELDS = ("function", "isa", "time", "space", "seed", "db", "requests",
-           "platform", "trace", "faults", "scaling", "sampling")
+           "platform", "trace", "faults", "scaling", "sampling", "cluster")
 
 
 class MeasurementSpec:
@@ -72,6 +72,14 @@ class MeasurementSpec:
         approximations and must never alias full-detail ones.  ``None``
         (the default) runs every detailed instruction and keeps all
         digests byte-identical to the pre-sampling implementation.
+    ``cluster``
+        Optional :class:`~repro.serverless.platform.ClusterConfig` for
+        multi-node serving experiments (``python -m repro serve
+        --nodes``).  Part of spec identity and of the result-cache key,
+        extending both *only when set* — ``None`` (the default, and the
+        only value measurement entry points produce) keeps identity and
+        digests exactly as before, the same contract as ``scaling`` and
+        ``sampling``.
     """
 
     __slots__ = _FIELDS
@@ -81,7 +89,7 @@ class MeasurementSpec:
                  time: Optional[int] = None, space: Optional[int] = None,
                  seed: int = 0, db: Optional[str] = None, requests: int = 10,
                  platform=None, trace: bool = False, faults=None,
-                 scaling=None, sampling=None):
+                 scaling=None, sampling=None, cluster=None):
         if scale is not None and (time is not None or space is not None):
             raise TypeError("pass scale= or time=/space=, not both")
         if scale is None:
@@ -106,6 +114,7 @@ class MeasurementSpec:
         set_field(self, "faults", faults)
         set_field(self, "scaling", scaling)
         set_field(self, "sampling", sampling)
+        set_field(self, "cluster", cluster)
 
     # -- immutability ------------------------------------------------------
 
@@ -146,10 +155,13 @@ class MeasurementSpec:
         sampling = self.sampling
         sampling_fingerprint = (sampling.fingerprint()
                                 if sampling is not None else None)
+        cluster = self.cluster
+        cluster_fingerprint = (cluster.fingerprint()
+                               if cluster is not None else None)
         return (self.function, self.isa, self.time, self.space, self.seed,
                 self.db, self.requests, fingerprint, self.trace,
                 fault_fingerprint, scaling_fingerprint,
-                sampling_fingerprint)
+                sampling_fingerprint, cluster_fingerprint)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MeasurementSpec):
@@ -178,6 +190,8 @@ class MeasurementSpec:
             parts.append("scaling=%r" % self.scaling)
         if self.sampling is not None:
             parts.append("sampling=%r" % self.sampling)
+        if self.cluster is not None:
+            parts.append("cluster=%r" % self.cluster)
         return "MeasurementSpec(%s)" % ", ".join(parts)
 
     # -- pickling (slots, no __dict__) -------------------------------------

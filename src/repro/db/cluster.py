@@ -20,12 +20,15 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.db.cassandra import CassandraStore
 from repro.db.engine import Datastore, WorkReceipt
+# One error taxonomy for node loss: the cluster serving platform and
+# this datastore cluster raise the same type, driven by the same
+# ``cluster.node_down`` fault site (re-exported here for back-compat —
+# ``repro.db.NodeDownError`` predates ``repro.faults.NodeDownError``).
+from repro.faults.plan import NodeDownError
+
+__all__ = ["CassandraCluster", "NodeDownError"]
 
 _RING_SPACE = 2 ** 32
-
-
-class NodeDownError(RuntimeError):
-    """Not enough live replicas to satisfy the consistency level."""
 
 
 def _token(value: str) -> int:
@@ -64,6 +67,12 @@ class CassandraCluster(Datastore):
                              node_index))
         self._ring = sorted(ring)
         self._ring_tokens = [token for token, _node in self._ring]
+        #: Optional :class:`~repro.faults.FaultInjector`; every operation
+        #: then draws at ``cluster.node_down`` and a fire takes a live
+        #: node down before the consistency check runs — the same site
+        #: and error type the serverless cluster platform uses.  Same
+        #: guard-on-``None`` discipline as the tracer.
+        self.faults = None
 
     # -- topology -------------------------------------------------------------
 
@@ -98,6 +107,24 @@ class CassandraCluster(Datastore):
     def _live_replicas(self, key: str) -> List[int]:
         return [node for node in self.replicas_for(key) if self._up[node]]
 
+    def _maybe_node_down(self) -> None:
+        """Injected node failure: one deterministic draw per operation.
+
+        A fire takes down the highest-indexed live node (a fixed, seed-
+        independent victim rule keeps the outcome a pure function of the
+        injector's draws).  The node stays down until
+        :meth:`recover_node` — subsequent operations then surface
+        :class:`~repro.faults.NodeDownError` wherever the replica count
+        no longer meets the consistency level.
+        """
+        faults = self.faults
+        if faults is None or not faults.should_fire("cluster.node_down"):
+            return
+        for index in range(self.num_nodes - 1, -1, -1):
+            if self._up[index]:
+                self.fail_node(index)
+                return
+
     # -- metering: fold node receipts into the cluster's ----------------------
 
     def _absorb(self, node_index: int) -> None:
@@ -108,6 +135,7 @@ class CassandraCluster(Datastore):
     # -- Datastore interface --------------------------------------------------
 
     def put(self, table: str, key: str, record: Dict[str, Any]) -> None:
+        self._maybe_node_down()
         live = self._live_replicas(key)
         required = self._required_acks()
         if len(live) < required:
@@ -121,6 +149,7 @@ class CassandraCluster(Datastore):
             self._absorb(node_index)
 
     def get(self, table: str, key: str) -> Optional[Dict[str, Any]]:
+        self._maybe_node_down()
         live = self._live_replicas(key)
         required = self._required_acks()
         if len(live) < required:
@@ -138,6 +167,7 @@ class CassandraCluster(Datastore):
         return result
 
     def delete(self, table: str, key: str) -> bool:
+        self._maybe_node_down()
         live = self._live_replicas(key)
         if len(live) < self._required_acks():
             raise NodeDownError("delete %r: not enough replicas up" % key)
@@ -149,6 +179,7 @@ class CassandraCluster(Datastore):
         return existed
 
     def scan(self, table: str) -> Iterator[Dict[str, Any]]:
+        self._maybe_node_down()
         self.receipt.add(ops=1)
         seen: Dict[str, Dict[str, Any]] = {}
         for node_index, node in enumerate(self.nodes):

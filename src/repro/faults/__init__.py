@@ -37,6 +37,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    NodeDownError,
 )
 from repro.faults.policy import (
     BreakerOpen,
@@ -54,6 +55,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "NodeDownError",
     "ResilientCache",
     "RetryBudgetExceeded",
     "RetryPolicy",

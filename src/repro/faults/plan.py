@@ -36,6 +36,7 @@ FAULT_SITES = (
     "rpc.latency",       # RPC latency spike of `ticks`
     "db.timeout",        # datastore / cache operation times out
     "emu.disk",          # transient disk error inside the emulated VM
+    "cluster.node_down",  # a whole cluster node fails (NodeDownError)
 )
 
 _TWO_64 = float(1 << 64)
@@ -47,6 +48,17 @@ class InjectedFault(RuntimeError):
     def __init__(self, site: str, message: Optional[str] = None):
         super().__init__(message or "injected fault at %s" % site)
         self.site = site
+
+
+class NodeDownError(RuntimeError):
+    """A cluster node is unavailable.
+
+    The one error type for node loss everywhere in the stack: the
+    serverless cluster platform raises it for requests in flight on a
+    failed node, and :class:`~repro.db.cluster.CassandraCluster` raises
+    it when live replicas cannot satisfy the consistency level — both
+    driven by the same ``cluster.node_down`` fault site.
+    """
 
 
 class FaultSpec:

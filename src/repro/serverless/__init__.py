@@ -20,7 +20,13 @@ provides:
 * :mod:`repro.serverless.scaler` / :mod:`repro.serverless.router` — the
   serving layer: per-function instance pools behind a bounded queue with
   admission control, scaled by a Knative-style concurrency autoscaler
-  (``python -m repro serve``).
+  (``python -m repro serve``),
+* :mod:`repro.serverless.platform` — the deployment-target seam: one
+  :class:`Platform` interface over today's single host
+  (:class:`SingleHostPlatform`) and an N-node simulated cluster
+  (:class:`ClusterPlatform`) with per-node engines, a placement
+  scheduler, node-failure chaos and cross-node hop costs
+  (``python -m repro serve --nodes``).
 """
 
 from repro.serverless.container import ContainerImage, ImageLayer, ImageRegistry
@@ -34,6 +40,14 @@ from repro.serverless.faas import (
 )
 from repro.serverless.loadgen import LoadGenerator, RequestLog, arrival_ticks
 from repro.serverless.metrics import FunctionMetrics, MetricsCollector
+from repro.serverless.platform import (
+    ClusterConfig,
+    ClusterPlatform,
+    Node,
+    Platform,
+    SingleHostPlatform,
+    make_platform,
+)
 from repro.serverless.router import FunctionPool, Router, ServeResult
 from repro.serverless.rpc import RpcChannel, RpcError, RpcRequest, RpcResponse
 from repro.serverless.scaler import (
@@ -43,9 +57,15 @@ from repro.serverless.scaler import (
 )
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterPlatform",
     "ConcurrencyAutoscaler",
     "FunctionPool",
+    "Node",
+    "Platform",
     "Router",
+    "SingleHostPlatform",
+    "make_platform",
     "ScalingConfig",
     "ScalingEvent",
     "ServeResult",

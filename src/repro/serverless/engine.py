@@ -183,6 +183,18 @@ class ContainerEngine:
         del self._containers[name]
         self._trace_op("remove", name)
 
+    def crash(self) -> int:
+        """Power loss: every container dies without a stop/remove cycle.
+
+        A cluster node failure kills the machine, not the daemon — no
+        lifecycle costs are charged, no ``engine.*`` fault sites draw,
+        nothing is traced.  Pulled images survive (they are on disk);
+        returns how many containers were lost.
+        """
+        lost = len(self._containers)
+        self._containers.clear()
+        return lost
+
     def ps(self, all_states: bool = False) -> List[Container]:
         return [
             container for container in self._containers.values()

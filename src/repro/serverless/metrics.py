@@ -61,6 +61,13 @@ class FunctionMetrics:
         self.queue_ticks: List[float] = []
         self.sojourn_ticks: List[float] = []
         self.rejections = 0.0
+        #: Cluster placement harvested from ``serve.*`` meter keys the
+        #: multi-node platform stamps: node index -> requests served
+        #: there, plus how many requests crossed a node boundary and
+        #: the hop ticks they paid.  Empty on single-host runs.
+        self.node_invocations: Dict[int, int] = {}
+        self.cross_node = 0.0
+        self.hop_ticks = 0.0
 
     def observe(self, record, latency: Optional[float] = None) -> None:
         self.invocations += 1
@@ -77,6 +84,14 @@ class FunctionMetrics:
                 self.sojourn_ticks.append(amount)
             elif key == "serve.rejected":
                 self.rejections += amount
+            elif key == "serve.node":
+                node = int(amount)
+                self.node_invocations[node] = \
+                    self.node_invocations.get(node, 0) + 1
+            elif key == "serve.cross_node":
+                self.cross_node += amount
+            elif key == "serve.hop_ticks":
+                self.hop_ticks += amount
             elif key.startswith("faults."):
                 self.faults_injected += amount
             elif key.startswith("resilience."):
@@ -201,6 +216,19 @@ class MetricsCollector:
                 name, metrics.invocations, metrics.cold_rate * 100,
                 metrics.rejections, metrics.mean_queue_delay,
                 p50, p95, p99))
+        # Per-node breakdown: only for records a multi-node cluster
+        # platform attributed (``serve.node``), so single-host output
+        # stays byte-identical to the pre-cluster rendering.
+        for name in self.functions():
+            metrics = self._functions[name]
+            if not metrics.node_invocations:
+                continue
+            placed = " ".join(
+                "n%d=%d" % (node, metrics.node_invocations[node])
+                for node in sorted(metrics.node_invocations))
+            lines.append(
+                "%-30s placed %s; %.0f cross-node (%.0f hop ticks)" % (
+                    name, placed, metrics.cross_node, metrics.hop_ticks))
         return "\n".join(lines)
 
     def render_resilience(self, breaker_states: Optional[Dict[str, str]] = None) -> str:

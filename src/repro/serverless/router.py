@@ -86,7 +86,7 @@ BOOT_ENGINE_TICKS = ENGINE_OP_COSTS["create"] + ENGINE_OP_COSTS["start"]
 class QueuedRequest:
     """One admitted arrival waiting for (or holding) an instance."""
 
-    __slots__ = ("sequence", "arrival", "payload", "record")
+    __slots__ = ("sequence", "arrival", "payload", "record", "ingress")
 
     def __init__(self, sequence: int, arrival: int, payload: Dict[str, Any],
                  record: InvocationRecord):
@@ -94,6 +94,9 @@ class QueuedRequest:
         self.arrival = arrival
         self.payload = payload
         self.record = record
+        #: Front-end node the request entered through (cluster platforms
+        #: only; ``None`` on a single host).
+        self.ingress = None
 
     def __repr__(self) -> str:
         return "QueuedRequest(#%d @ %d)" % (self.sequence, self.arrival)
@@ -125,6 +128,17 @@ class PooledInstance(FunctionInstance):
         self.channel = RpcChannel("%s#i%d" % (name, index))
         self.channel.register("invoke", self._rpc_invoke)
         self._pending_context: Optional[InvocationContext] = None
+        #: Engine the instance's container lives on (set at boot); a
+        #: cluster platform points this at the chosen node's engine.
+        self.host_engine = None
+        #: Cluster node hosting the instance (``None`` on a single host).
+        self.node = None
+        #: Set when the hosting node died: the container is gone without
+        #: an engine stop/remove, and pending departures are void.
+        self.lost = False
+        #: Records currently executing on this instance (so a node
+        #: failure can fail exactly the in-flight work).
+        self.inflight: List[InvocationRecord] = []
 
     def _rpc_invoke(self, payload: Dict[str, Any]) -> Any:
         return self.handler(payload, self._pending_context)
@@ -187,14 +201,23 @@ class FunctionPool:
 class ServeResult:
     """Everything one serve run produced: records, events, timeline."""
 
-    def __init__(self, function: str, scaling: ScalingConfig):
+    def __init__(self, function: str, scaling: ScalingConfig, cluster=None):
         self.function = function
         self.scaling = scaling
+        #: Optional :class:`~repro.serverless.platform.ClusterConfig` the
+        #: run was served under; ``None`` means a single host, and every
+        #: rendering below then stays byte-identical to the pre-cluster
+        #: implementation.
+        self.cluster = cluster
         #: Invocation records in arrival order (rejections included).
         self.records: List[InvocationRecord] = []
         self.events: List[ScalingEvent] = []
         #: ``(tick, queue_depth, in_flight, instances)`` on every change.
         self.samples: List[Tuple[int, int, int, int]] = []
+        #: ``(tick, (instances on node 0, node 1, ...))`` whenever the
+        #: per-node placement changes — only populated by multi-node
+        #: cluster platforms.
+        self.node_samples: List[Tuple[int, Tuple[int, ...]]] = []
         #: Tick the last departure or scaling action happened at.
         self.finished_at = 0
 
@@ -230,6 +253,16 @@ class ServeResult:
     def scale_downs(self) -> int:
         return sum(1 for e in self.events
                    if e.kind in (ScalingEvent.DOWN, ScalingEvent.TO_ZERO))
+
+    def node_failures(self) -> int:
+        return sum(1 for e in self.events
+                   if e.kind == ScalingEvent.NODE_DOWN)
+
+    @property
+    def cross_node(self) -> int:
+        """Requests served on a node other than their ingress node."""
+        return sum(1 for r in self.records
+                   if "serve.cross_node" in r.metrics)
 
     def sojourns(self) -> List[int]:
         """Queue + service ticks per admitted request, arrival order."""
@@ -278,11 +311,21 @@ class ServeResult:
                 "sojourn ticks: p50 %.0f  p95 %.0f  p99 %.0f  (max %d)" % (
                     percentile(sojourns, 0.50), percentile(sojourns, 0.95),
                     percentile(sojourns, 0.99), max(sojourns)))
+        if self.cluster is not None and self.cluster.nodes > 1:
+            lines.append(
+                "cluster: %d nodes (%s), %d node failure(s), "
+                "%d cross-node request(s)" % (
+                    self.cluster.nodes, self.cluster.placement,
+                    self.node_failures(), self.cross_node))
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-ready artifact (``python -m repro serve --out``)."""
-        return {
+        """JSON-ready artifact (``python -m repro serve --out``).
+
+        Cluster keys appear only when a cluster config is attached, so
+        single-host artifacts stay byte-identical to pre-cluster ones.
+        """
+        data = {
             "function": self.function,
             "scaling": self.scaling.as_dict(),
             "records": [record.as_dict() for record in self.records],
@@ -290,6 +333,11 @@ class ServeResult:
             "samples": [list(sample) for sample in self.samples],
             "finished_at": self.finished_at,
         }
+        if self.cluster is not None:
+            data["cluster"] = self.cluster.as_dict()
+            data["node_samples"] = [[tick, list(counts)]
+                                    for tick, counts in self.node_samples]
+        return data
 
     def __repr__(self) -> str:
         return "ServeResult(%s: %d records, %d events)" % (
@@ -367,7 +415,7 @@ class Router:
         if payload is not None and payload_factory is not None:
             raise ValueError("pass payload or payload_factory, not both")
         pool = self.pool(name)
-        result = ServeResult(name, pool.scaling)
+        result = self._make_result(pool)
         heap: List[Tuple[int, int, str, Any]] = []
         order = itertools.count()
         previous = None
@@ -391,9 +439,20 @@ class Router:
             elif kind == "eval":
                 pool.scheduled_evals.discard(tick)
                 self._on_eval(pool, heap, order, result)
+            else:
+                # Platform-specific events (e.g. a cluster node's
+                # recovery); the base router knows none.
+                self._on_extra(pool, heap, order, result, kind, data)
             self._schedule_eval(pool, heap, order)
         result.finished_at = self.now
         return result
+
+    def _make_result(self, pool) -> ServeResult:
+        """Build the result object (platforms attach their config here)."""
+        return ServeResult(pool.name, pool.scaling)
+
+    def _on_extra(self, pool, heap, order, result, kind, data) -> None:
+        raise ValueError("unknown serve event kind %r" % kind)
 
     # -- event handlers ----------------------------------------------------
 
@@ -415,7 +474,9 @@ class Router:
             self._trace_instant("rejected", {"sequence": record.sequence})
             self._sample(pool, result)
             return
-        pool.queue.append(QueuedRequest(pool.sequence, self.now, body, record))
+        request = QueuedRequest(pool.sequence, self.now, body, record)
+        request.ingress = self._ingress_for(pool, record)
+        pool.queue.append(request)
         if not pool.instances:
             # Scale from zero immediately (the activator path): the
             # periodic evaluation would add avoidable queueing delay.
@@ -433,6 +494,12 @@ class Router:
 
     def _on_depart(self, pool, heap, order, result, data) -> None:
         instance, record = data
+        if instance.lost:
+            # The hosting node died mid-flight: the record was already
+            # failed at death time and the instance reclaimed.
+            return
+        if record in instance.inflight:
+            instance.inflight.remove(record)
         instance.busy -= 1
         instance.invocations += 1
         instance.last_used = self.now
@@ -500,24 +567,34 @@ class Router:
 
     def _boot_instance(self, pool, heap, order, result) -> bool:
         """Start one cold instance; False when the boot itself failed."""
+        placement = self._place(pool)
+        if placement is None:
+            # A cluster with every live node at capacity; a single host
+            # never refuses (its only clamp is max_instances, applied by
+            # the caller).
+            self._emit(result, pool, ScalingEvent.BOOT_FAILED,
+                       len(pool.instances), len(pool.instances),
+                       "no node with spare capacity")
+            return False
+        engine, node = placement
         index = pool.next_index
         pool.next_index += 1
         instance = PooledInstance(pool.name, pool.image_name, pool.runtime,
                                   pool.handler, pool.services, index)
         container_name = "%s-i%d" % (pool.name, index)
         try:
-            self.engine.create(pool.image_name, name=container_name,
-                               cpu_pin=self.server_core)
+            engine.create(pool.image_name, name=container_name,
+                          cpu_pin=self.server_core)
         except EngineError as failure:
             self._emit(result, pool, ScalingEvent.BOOT_FAILED,
                        len(pool.instances), len(pool.instances),
                        "create i%d: %s" % (index, failure))
             return False
         try:
-            self.engine.start(container_name)
+            engine.start(container_name)
         except EngineError as failure:
             try:  # never leave a created-but-dead container behind
-                self.engine.remove(container_name)
+                engine.remove(container_name)
             except EngineError:
                 pass
             self._emit(result, pool, ScalingEvent.BOOT_FAILED,
@@ -531,15 +608,52 @@ class Router:
             # fetch hiccup): elapses boot time, does not fail the boot.
             boot_ticks += faults.ticks_for("faas.cold_start")
         instance.container_name = container_name
+        instance.host_engine = engine
+        instance.node = node
         instance.cold_starts = 1
         instance.ready_at = self.now + boot_ticks
         instance.local = {}
         pool.instances.append(instance)
+        self._note_boot(pool, instance, node)
         heapq.heappush(heap, (instance.ready_at, next(order), "ready",
                               instance))
         self._trace_span("cold-boot:i%d" % index, self.now, boot_ticks,
                          {"function": pool.name, "container": container_name})
         return True
+
+    # -- platform hook points ----------------------------------------------
+    #
+    # A single host is the degenerate cluster: one engine, no placement
+    # choice, no ingress hop.  Cluster platforms override exactly these
+    # hooks; at one node every override reduces to the base behaviour, so
+    # the two paths stay bit-identical (asserted by the platform tests).
+
+    def _place(self, pool):
+        """Choose where a new instance boots: ``(engine, node)`` or None."""
+        return (self.engine, None)
+
+    def _note_boot(self, pool, instance, node) -> None:
+        """Placement bookkeeping after a successful boot."""
+
+    def _note_remove(self, pool, instance) -> None:
+        """Placement bookkeeping after an instance leaves the pool."""
+
+    def _ingress_for(self, pool, record):
+        """Front-end node an arrival enters through (None = single host)."""
+        return None
+
+    def _candidate_for(self, pool, request):
+        """First instance with spare concurrency for ``request``."""
+        target = pool.scaling.target_concurrency
+        for instance in pool.instances:
+            if instance.ready and instance.busy < target \
+                    and not instance.doomed:
+                return instance
+        return None
+
+    def _hop_penalty(self, pool, instance, request) -> int:
+        """Extra service ticks when serving off the ingress node."""
+        return 0
 
     def _remove_idle(self, pool, count: int, floor: int) -> int:
         """Remove up to ``count`` idle instances, oldest-idle first."""
@@ -559,29 +673,26 @@ class Router:
         """Reclaim one instance through the engine (stop/remove guarded
         separately — a stop failure must never leak the container)."""
         if instance.container_name is not None:
+            engine = instance.host_engine or self.engine
             try:
-                self.engine.stop(instance.container_name)
+                engine.stop(instance.container_name)
             except EngineError:
                 pass
             try:
-                self.engine.remove(instance.container_name)
+                engine.remove(instance.container_name)
             except EngineError:
                 pass
             instance.container_name = None
         instance.state = FunctionState.DEAD
         if instance in pool.instances:
             pool.instances.remove(instance)
+        self._note_remove(pool, instance)
 
     def _dispatch(self, pool, heap, order, result) -> None:
         """Drain the queue onto every instance with spare concurrency."""
         target = pool.scaling.target_concurrency
         while pool.queue:
-            candidate = None
-            for instance in pool.instances:
-                if instance.ready and instance.busy < target \
-                        and not instance.doomed:
-                    candidate = instance
-                    break
+            candidate = self._candidate_for(pool, pool.queue[0])
             if candidate is None:
                 return
             request = pool.queue.popleft()
@@ -590,10 +701,12 @@ class Router:
             candidate.cold_pending = False
             candidate.busy += 1
             candidate.state = FunctionState.RUNNING
+            candidate.inflight.append(record)
             assert candidate.busy <= target, \
                 "instance concurrency bound violated"
             queue_ticks = self.now - request.arrival
             service_ticks = self._execute(pool, candidate, request)
+            service_ticks += self._hop_penalty(pool, candidate, request)
             record.meter("timing.queue_ticks", queue_ticks)
             record.meter("timing.service_ticks", service_ticks)
             record.meter("timing.sojourn_ticks", queue_ticks + service_ticks)

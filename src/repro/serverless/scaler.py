@@ -196,6 +196,8 @@ class ScalingEvent:
     PANIC_EXIT = "panic-exit"
     BOOT_FAILED = "boot-failed"
     RECYCLE = "recycle"
+    NODE_DOWN = "node-down"
+    NODE_UP = "node-up"
 
     def __init__(self, tick: int, function: str, kind: str,
                  from_instances: int, to_instances: int, reason: str):

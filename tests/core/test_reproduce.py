@@ -6,6 +6,7 @@ from repro.cli import main
 from repro.core import reproduce
 from repro.core.harness import clear_boot_checkpoint_cache
 from repro.core.scale import SimScale
+from repro.core.spec import MeasurementSpec
 
 SCALE = SimScale(time=4096, space=32)
 
@@ -19,22 +20,36 @@ def _fresh_checkpoints():
 
 class TestReproduceLibrary:
     def test_measure_standalone_shop_batch(self):
-        batch = reproduce.measure_standalone_shop("riscv", SCALE)
+        batch = reproduce.measure(
+            MeasurementSpec(function="standalone+shop", isa="riscv",
+                            scale=SCALE))
         assert len(batch) == 15
         assert all(m.cold.cycles > m.warm.cycles for m in batch.values())
 
     def test_measure_hotel_with_database_choice(self):
-        batch = reproduce.measure_hotel("riscv", SCALE, db="redis")
+        batch = reproduce.measure(
+            MeasurementSpec(function="hotel", isa="riscv", scale=SCALE,
+                            db="redis"))
         assert len(batch) == 6
 
     def test_progress_callback(self):
         seen = []
-        reproduce.measure_functions(
-            [__import__("repro.workloads.catalog",
-                        fromlist=["get_function"]).get_function("aes-go")],
-            "riscv", SCALE, progress=seen.append,
+        reproduce.measure(
+            MeasurementSpec(function="aes-go", isa="riscv", scale=SCALE),
+            progress=seen.append,
         )
         assert seen == ["measured aes-go on riscv"]
+
+    @pytest.mark.parametrize("shim", ["measure_functions",
+                                      "measure_standalone_shop",
+                                      "measure_hotel"])
+    def test_removed_shims_raise_with_migration_hint(self, shim):
+        with pytest.raises(RuntimeError) as excinfo:
+            getattr(reproduce, shim)("riscv", SCALE)
+        message = str(excinfo.value)
+        assert message.startswith("%s() was removed" % shim)
+        assert "MeasurementSpec" in message
+        assert "measure(" in message
 
     def test_qemu_comparison_covers_both_databases(self):
         results = reproduce.qemu_database_comparison()

@@ -102,28 +102,23 @@ class TestMeasureDispatcher:
             MeasurementSpec(function="hotel-geo-go", db="redis"))
         assert specs[0].db == "redis"
 
-    def test_shims_warn_and_agree_with_measure(self):
+    def test_removed_shims_never_warn_they_raise(self):
+        # The PR-2 deprecation shims are gone: any call is a hard error
+        # naming the replacement, not a DeprecationWarning + forward.
         from repro.workloads.catalog import get_function
 
         function = get_function("fibonacci-python")
-        with pytest.warns(DeprecationWarning):
-            old = reproduce.measure_functions([function], "riscv", SCALE,
-                                              jobs=1, cache=False)
-        new = reproduce.measure(
-            MeasurementSpec(function="fibonacci-python", isa="riscv",
-                            scale=SCALE), jobs=1, cache=False)
-        assert old["fibonacci-python"].cold.as_dict() == \
-            new["fibonacci-python"].cold.as_dict()
-        assert old["fibonacci-python"].warm.as_dict() == \
-            new["fibonacci-python"].warm.as_dict()
-
-    def test_suite_shims_forward(self):
-        with pytest.warns(DeprecationWarning):
-            specs = reproduce._expand_spec(
-                MeasurementSpec(function="hotel", db="redis"))
-            batch = reproduce.measure_hotel("riscv", SCALE, db="redis",
-                                            jobs=1, cache=False)
-        assert sorted(batch) == sorted(point.function for point in specs)
+        with pytest.raises(RuntimeError, match=r"measure_functions\(\) was "
+                                               r"removed"):
+            reproduce.measure_functions([function], "riscv", SCALE,
+                                        jobs=1, cache=False)
+        with pytest.raises(RuntimeError, match=r"measure_hotel\(\) was "
+                                               r"removed"):
+            reproduce.measure_hotel("riscv", SCALE, db="redis",
+                                    jobs=1, cache=False)
+        with pytest.raises(RuntimeError,
+                           match=r"measure_standalone_shop\(\) was removed"):
+            reproduce.measure_standalone_shop("riscv", SCALE)
 
 
 class TestTracedSpecCacheBypass:
