@@ -503,6 +503,7 @@ def cmd_reproduce(args) -> int:
 def cmd_cache(args) -> int:
     """Inspect or clear the persistent result cache."""
     from repro.core.rescache import ResultCache
+    from repro.sim.isa import blockjit, predecode
 
     cache = ResultCache()
     if args.action == "clear":
@@ -513,6 +514,25 @@ def cmd_cache(args) -> int:
     print("result cache at %s" % stats["root"])
     print("  entries: %d" % stats["entries"])
     print("  size:    %.1f KiB" % (stats["bytes"] / 1024.0))
+    replays = predecode.STATS["block_replays"]
+    decoded = predecode.STATS["decoded_blocks"]
+    hit_rate = (1.0 - decoded / replays) if replays else 0.0
+    print("predecode cache (tier 2, %s, this process):"
+          % ("enabled" if predecode.enabled() else "disabled"))
+    print("  block replays: %d  decoded: %d  hit rate: %.1f%%"
+          % (replays, decoded, hit_rate * 100))
+    jit = blockjit.STATS
+    calls = jit["compiled_calls"] + jit["interpreted_calls"]
+    jit_rate = (jit["compiled_calls"] / calls) if calls else 0.0
+    print("block JIT (tier 3, %s, threshold %d, this process):"
+          % ("enabled" if blockjit.enabled() else "disabled",
+             blockjit.threshold()))
+    print("  compiled units: %d (%.2fs)  declined: %d"
+          % (jit["compiled_units"], jit["compile_s"], jit["declined"]))
+    print("  node executions: %d compiled / %d interpreted "
+          "(%.1f%% compiled)"
+          % (jit["compiled_calls"], jit["interpreted_calls"],
+             jit_rate * 100))
     return 0
 
 
@@ -520,6 +540,7 @@ def cmd_bench_smoke(args) -> int:
     """Time the pinned perf-smoke batch; optionally emit JSON."""
     from repro.core.smoke import (
         append_entry,
+        phase_regressions,
         render_smoke,
         run_smoke,
         wall_regression,
@@ -535,15 +556,22 @@ def cmd_bench_smoke(args) -> int:
     entry, previous = append_entry(report, path=args.trajectory)
     print("appended entry %s to %s"
           % (entry.get("sha") or "(no sha)", args.trajectory))
+    failed = []
     change = wall_regression(previous, entry)
     if change is not None:
         print("wall-clock vs previous entry (%s): %+.1f%%"
               % (previous.get("sha") or "(no sha)", change * 100))
         if args.max_regress is not None and change > args.max_regress:
-            print("FAIL: regression exceeds %.0f%% threshold"
-                  % (args.max_regress * 100))
-            return 1
-    return 0
+            failed.append(("wall_s", change))
+    for phase, phase_change in sorted(phase_regressions(
+            previous, entry).items()):
+        print("  %s wall-clock: %+.1f%%" % (phase, phase_change * 100))
+        if args.max_regress is not None and phase_change > args.max_regress:
+            failed.append((phase, phase_change))
+    for name, value in failed:
+        print("FAIL: %s regression %+.1f%% exceeds %.0f%% threshold"
+              % (name, value * 100, args.max_regress * 100))
+    return 1 if failed else 0
 
 
 def cmd_calibrate(args) -> int:

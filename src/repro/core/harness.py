@@ -248,28 +248,66 @@ class ExperimentHarness:
 
         Boot checkpoints are cached per (platform, scale, seed, services)
         so the multi-hour setup phase is paid once, as in the thesis's
-        workflow.
+        workflow.  Atomic-setup boots are additionally layered: a
+        checkpoint is cached after the base boot and after each service
+        boot, so two service sets sharing a prefix (say ``(cassandra,)``
+        and ``(cassandra, memcached)``) replay the expensive database
+        boot once per process, not once per distinct set.  Restoring a
+        layer and continuing is state-identical to booting straight
+        through — a checkpoint is a lossless snapshot of exactly the
+        state the continued boot would have seen.
         """
         from repro.workloads.boot import build_boot_program, build_db_boot_program
 
         stores = list(service_stores)
-        cache_key = (
+        base_key = (
             self.isa, self.scale.time, self.scale.space, self.seed,
-            self.setup_cpu, tuple(sorted(store.name for store in stores)),
-            self.config.fingerprint(),
+            self.setup_cpu, self.config.fingerprint(),
         )
-        cached = _BOOT_CHECKPOINT_CACHE.get(cache_key)
+        names = tuple(store.name for store in stores)
+        full_key = base_key + (tuple(sorted(names)),)
+        cached = _BOOT_CHECKPOINT_CACHE.get(full_key)
         if cached is not None:
             self._boot_checkpoint = cached
             return cached
 
-        boot = build_boot_program(self.isa, self.scale, seed=self.seed)
-        self._run_setup_program(boot)
-        for store in stores:
-            db_boot = build_db_boot_program(store, self.isa, self.scale, seed=self.seed)
+        if self.setup_cpu == "kvm":
+            # KVM setup keeps the legacy straight-through path: its
+            # checkpoint op can fail mid-way and downgrade the setup CPU,
+            # which layered continuation would have to unwind.
+            boot = build_boot_program(self.isa, self.scale, seed=self.seed)
+            self._run_setup_program(boot)
+            for store in stores:
+                db_boot = build_db_boot_program(store, self.isa, self.scale,
+                                                seed=self.seed)
+                self._run_setup_program(db_boot)
+            self._boot_checkpoint = self._take_setup_checkpoint()
+            _BOOT_CHECKPOINT_CACHE[full_key] = self._boot_checkpoint
+            return self._boot_checkpoint
+
+        layer_key = lambda i: base_key + ("layer", names[:i])
+        booted = 0
+        checkpoint = None
+        for i in range(len(names), -1, -1):
+            checkpoint = _BOOT_CHECKPOINT_CACHE.get(layer_key(i))
+            if checkpoint is not None:
+                booted = i
+                break
+        if checkpoint is None:
+            boot = build_boot_program(self.isa, self.scale, seed=self.seed)
+            self._run_setup_program(boot)
+            checkpoint = self._take_setup_checkpoint()
+            _BOOT_CHECKPOINT_CACHE[layer_key(0)] = checkpoint
+        elif booted < len(names):
+            restore_checkpoint(self.system, checkpoint)
+        for i in range(booted, len(names)):
+            db_boot = build_db_boot_program(stores[i], self.isa, self.scale,
+                                            seed=self.seed)
             self._run_setup_program(db_boot)
-        self._boot_checkpoint = self._take_setup_checkpoint()
-        _BOOT_CHECKPOINT_CACHE[cache_key] = self._boot_checkpoint
+            checkpoint = self._take_setup_checkpoint()
+            _BOOT_CHECKPOINT_CACHE[layer_key(i + 1)] = checkpoint
+        self._boot_checkpoint = checkpoint
+        _BOOT_CHECKPOINT_CACHE[full_key] = checkpoint
         return self._boot_checkpoint
 
     def _run_setup_program(self, program) -> None:

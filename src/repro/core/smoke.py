@@ -13,13 +13,19 @@ previous entry.  A v1 single-snapshot file migrates transparently: it
 becomes the trajectory's first entry (with no SHA — it predates the
 trajectory).
 
-Beyond the full-detail batch, a smoke run can time two extra phases:
+Beyond the full-detail batch, a smoke run can time three extra phases:
 
 * ``sampled`` — the same batch under a sampling config (default the
   calibrated ``accurate`` preset).  It runs in the same process after
-  the full-detail phase, so assembled-program and dataset caches are
+  the full-detail phase and one untimed sampled warmup pass, so
+  assembled-program, dataset, decode and compiled-block caches are
   warm; the figure isolates the simulation hot loop the way FireSim's
   fast mode isolates target time, and is honest about that framing.
+* ``jit`` — a same-process rerun of the full-detail batch with the
+  hot-block JIT's compiled functions already cached, timing pure
+  compiled replay; the one-time codegen overhead the earlier phases
+  paid is reported separately (``compile``), so compile cost and
+  replay benefit never blur into one number.
 * ``legacy`` — the same batch with the predecode cache disabled
   (``REPRO_PREDECODE=0`` semantics), giving a same-machine baseline so
   speedups are comparable across differently-provisioned CI hosts.
@@ -122,10 +128,12 @@ def run_smoke(jobs: Optional[int] = None, cache=False,
     """
     from repro.core.parallel import resolve_jobs
     from repro.core.scale import TEST
-    from repro.sim.isa import predecode
+    from repro.sim.isa import blockjit, predecode
     from repro.sim.sampling import SamplingConfig
 
     resolved_jobs = resolve_jobs(jobs)
+    predecode.reset_stats()
+    blockjit.reset_stats()
     batches, total_instructions, wall_total = _run_batches(jobs, cache)
 
     report: Dict[str, Any] = {
@@ -144,15 +152,46 @@ def run_smoke(jobs: Optional[int] = None, cache=False,
 
     config = SamplingConfig.parse(sampling)
     if config is not None:
+        # Untimed warmup pass: the sampled path has one-time costs of
+        # its own (warm-path decode, and JIT codegen for warm/windowed
+        # units the full-detail phase never ran), which would otherwise
+        # land inside the timed window.  The phase's contract is the
+        # warm simulation hot loop, so pay them here.
+        _run_batches(jobs, cache, sampling=config)
         sampled_batches, _, sampled_wall = _run_batches(
             jobs, cache, sampling=config)
         report["sampled"] = {
             "sampling": config.fingerprint(),
             "batches": sampled_batches,
             "wall_s": round(sampled_wall, 3),
-            "note": "same-process rerun after the full-detail phase; "
-                    "assembled-program and dataset caches are warm, so "
-                    "this isolates the simulation hot loop",
+            "note": "same-process rerun after the full-detail phase and "
+                    "an untimed sampled warmup pass; assembled-program, "
+                    "dataset, decode and compiled-block caches are warm, "
+                    "so this isolates the simulation hot loop",
+        }
+
+    if blockjit.enabled() and predecode.enabled():
+        replays = predecode.STATS["block_replays"]
+        compile_stats = {
+            "compiled_units": blockjit.STATS["compiled_units"],
+            "compile_s": round(blockjit.STATS["compile_s"], 3),
+            "declined": blockjit.STATS["declined"],
+            "compiled_calls": blockjit.STATS["compiled_calls"],
+            "interpreted_calls": blockjit.STATS["interpreted_calls"],
+        }
+        jit_batches, _, jit_wall = _run_batches(jobs, cache)
+        report["jit"] = {
+            "batches": jit_batches,
+            "wall_s": round(jit_wall, 3),
+            "compile": compile_stats,
+            "predecode": {
+                "block_replays": replays,
+                "decoded_blocks": predecode.STATS["decoded_blocks"],
+            },
+            "note": "same-process rerun with hot blocks already "
+                    "compiled: pure tier-3 replay; 'compile' totals "
+                    "the one-time codegen overhead paid by the "
+                    "earlier phases",
         }
 
     if legacy:
@@ -199,6 +238,32 @@ def _git_sha() -> Optional[str]:
         return None
 
 
+def _git_added_provenance(path) -> Tuple[Optional[str], Optional[str]]:
+    """(short sha, UTC date) of the commit that first added ``path``.
+
+    Used to backfill provenance on a migrated v1 snapshot: the snapshot
+    was committed by whichever commit created the trajectory file, so
+    git history is the authoritative source for its missing sha/date.
+    """
+    try:
+        out = subprocess.check_output(
+            ["git", "log", "--follow", "--diff-filter=A",
+             "--format=%h %cI", "--", str(path)],
+            stderr=subprocess.DEVNULL).decode()
+    except (OSError, subprocess.CalledProcessError):
+        return None, None
+    lines = [line for line in out.splitlines() if line.strip()]
+    if not lines:
+        return None, None
+    sha, _, stamp = lines[-1].partition(" ")
+    try:
+        when = datetime.fromisoformat(stamp).astimezone(timezone.utc)
+        date: Optional[str] = when.strftime("%Y-%m-%dT%H:%M:%SZ")
+    except ValueError:
+        date = None
+    return sha or None, date
+
+
 def load_trajectory(path=TRAJECTORY_PATH) -> Dict[str, Any]:
     """Load (or initialise) the trajectory; migrates a v1 snapshot."""
     target = Path(path)
@@ -207,11 +272,15 @@ def load_trajectory(path=TRAJECTORY_PATH) -> Dict[str, Any]:
     data = json.loads(target.read_text())
     if isinstance(data, dict) and isinstance(data.get("entries"), list):
         return {"schema": SMOKE_SCHEMA, "entries": data["entries"]}
-    # v1 single snapshot: it becomes the first trajectory entry.  It
-    # predates the trajectory, so it carries no SHA/date.
+    # v1 single snapshot: it becomes the first trajectory entry, stamped
+    # with the provenance of the commit that added the snapshot file.
     entry = dict(data)
-    entry.setdefault("sha", None)
-    entry.setdefault("date", None)
+    if entry.get("sha") is None or entry.get("date") is None:
+        sha, date = _git_added_provenance(target)
+        if entry.get("sha") is None:
+            entry["sha"] = sha
+        if entry.get("date") is None:
+            entry["date"] = date
     return {"schema": SMOKE_SCHEMA, "entries": [entry]}
 
 
@@ -243,6 +312,30 @@ def wall_regression(previous: Optional[Dict[str, Any]],
     return entry["wall_s"] / previous["wall_s"] - 1.0
 
 
+#: Phases whose wall-clocks the CI gate compares alongside the top-level
+#: batch wall: a regression confined to the sampled fast path, the
+#: cluster scheduling path, or compiled replay must fail the gate even
+#: when the full-detail batch happens to absorb it.
+GATED_PHASES = ("sampled", "cluster_serve", "jit")
+
+
+def phase_regressions(previous: Optional[Dict[str, Any]],
+                      entry: Dict[str, Any]) -> Dict[str, float]:
+    """Per-phase fractional wall-clock changes vs the previous entry.
+
+    Covers :data:`GATED_PHASES`; phases absent from either entry (or
+    with a zero wall) are skipped, so gating stays well-defined across
+    entries that predate a phase.
+    """
+    out: Dict[str, float] = {}
+    for phase in GATED_PHASES:
+        before = (previous or {}).get(phase) or {}
+        after = entry.get(phase) or {}
+        if before.get("wall_s") and after.get("wall_s"):
+            out[phase] = after["wall_s"] / before["wall_s"] - 1.0
+    return out
+
+
 def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
     """Render the report for the CLI (JSON or a short human summary)."""
     if as_json:
@@ -261,6 +354,14 @@ def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
     if sampled:
         lines.append("  sampled (%s): %.2fs" % (
             sampled["sampling"], sampled["wall_s"]))
+    jit = report.get("jit")
+    if jit:
+        compile_stats = jit["compile"]
+        lines.append("  jit warm replay: %.2fs (%d units compiled in "
+                     "%.2fs, %d declined)" % (
+                         jit["wall_s"], compile_stats["compiled_units"],
+                         compile_stats["compile_s"],
+                         compile_stats["declined"]))
     legacy = report.get("legacy")
     if legacy:
         lines.append("  legacy (no predecode): %.2fs" % legacy["wall_s"])

@@ -15,7 +15,7 @@ paths bit-identical.
 from __future__ import annotations
 
 from repro.sim.cpu.base import BaseCpu, RunResult
-from repro.sim.isa import predecode
+from repro.sim.isa import blockjit, predecode
 from repro.sim.isa.base import InstrClass
 
 
@@ -26,8 +26,9 @@ class AtomicCpu(BaseCpu):
 
     def run_program(self, assembled, seed: int = 0) -> RunResult:
         if predecode.enabled():
-            cycles, class_counts = predecode.atomic_run(assembled, seed,
-                                                        self.mem)
+            run = (blockjit.atomic_run if blockjit.enabled()
+                   else predecode.atomic_run)
+            cycles, class_counts = run(assembled, seed, self.mem)
             names = InstrClass.NAMES
             by_class = self.stat_by_class
             instructions = 0

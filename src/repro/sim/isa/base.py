@@ -129,14 +129,168 @@ class StaticInstr:
         return "StaticInstr(0x%x %s%s)" % (self.pc, InstrClass.name(self.icls), extra)
 
 
-class AssembledBlock:
-    """A lowered IR block: static instructions plus dependency metadata."""
+class UnrolledRun:
+    """A deferred unrolled lowering: ``count`` consecutive instructions
+    of one IR op with pre-drawn sizes.
 
-    __slots__ = ("instrs", "kind")
+    The assembler's hot path used to materialize one
+    :class:`StaticInstr` per unrolled instance — six-figure object
+    counts for straight-line boot code — even though the predecode tier
+    consumes each block exactly once and then replays flat tuples.  A
+    run keeps the compact description (op kind, pre-drawn size stream,
+    base PC, register-chain position); the predecode decoders consume it
+    directly, and :meth:`materialize` produces the byte-identical
+    per-instruction form for the legacy tier on first demand.
+    """
 
-    def __init__(self, instrs: List[StaticInstr], kind: str):
-        self.instrs = instrs
+    __slots__ = ("kind", "icls", "count", "base_pc", "sizes", "chain",
+                 "ilp", "fp", "region", "pattern", "probability")
+
+    def __init__(self, kind: str, icls: int, count: int, base_pc: int,
+                 sizes: List[int], chain: int, ilp: int, fp: bool,
+                 region, pattern, probability: float):
         self.kind = kind
+        self.icls = icls
+        self.count = count
+        self.base_pc = base_pc
+        self.sizes = sizes
+        self.chain = chain
+        self.ilp = ilp
+        self.fp = fp
+        self.region = region
+        self.pattern = pattern
+        self.probability = probability
+
+    def materialize(self) -> List[StaticInstr]:
+        """The exact static instructions this run stands for."""
+        sizes = self.sizes
+        count = self.count
+        pc = self.base_pc
+        ilp = self.ilp
+        chain = self.chain
+        kind = self.kind
+        out: List[StaticInstr] = []
+        append = out.append
+        new = StaticInstr.__new__
+        if kind in _COMPUTE_CLASS:
+            icls = _COMPUTE_CLASS[kind]
+            base = FP_CHAIN_BASE if self.fp else INT_CHAIN_BASE
+            lanes = [(base + (lane % 24), (base + (lane % 24), ZERO_REG))
+                     for lane in range(ilp)]
+            for index in range(count):
+                reg, srcs = lanes[(chain + index) % ilp]
+                size = sizes[index]
+                instr = new(StaticInstr)
+                instr.pc = pc
+                instr.size = size
+                instr.icls = icls
+                instr.srcs = srcs
+                instr.dst = reg
+                instr.repeat = 1
+                instr.region = None
+                instr.pattern = None
+                instr.taken_probability = 1.0
+                instr.is_mem = False
+                instr.target_pc = 0
+                instr.rotate = ()
+                append(instr)
+                pc += size
+        elif kind == ir.OP_LOAD or kind == ir.OP_STORE:
+            regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
+            region = self.region
+            load = kind == ir.OP_LOAD
+            icls = InstrClass.LOAD if load else InstrClass.STORE
+            load_srcs = (ADDR_REG,)
+            strided = isinstance(self.pattern, ir.StridePattern)
+            for index in range(count):
+                reg = regs[(chain + index) % ilp]
+                size = sizes[index]
+                if strided:
+                    pattern: Optional[ir.AddressPattern] = ir.StridePattern(
+                        stride=self.pattern.stride,
+                        start=self.pattern.start + index * self.pattern.stride)
+                else:
+                    pattern = self.pattern
+                instr = new(StaticInstr)
+                instr.pc = pc
+                instr.size = size
+                instr.icls = icls
+                if load:
+                    instr.srcs = load_srcs
+                    instr.dst = reg
+                else:
+                    instr.srcs = (reg, ADDR_REG)
+                    instr.dst = -1
+                instr.repeat = 1
+                instr.region = region
+                instr.pattern = pattern
+                instr.taken_probability = 1.0
+                instr.is_mem = True
+                instr.target_pc = 0
+                instr.rotate = ()
+                append(instr)
+                pc += size
+        elif kind == ir.OP_BRANCH:
+            icls = InstrClass.BRANCH
+            regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
+            probability = self.probability
+            for index in range(count):
+                reg = regs[(chain + index) % ilp]
+                size = sizes[index]
+                instr = new(StaticInstr)
+                instr.pc = pc
+                instr.size = size
+                instr.icls = icls
+                instr.srcs = (reg,)
+                instr.dst = -1
+                instr.repeat = 1
+                instr.region = None
+                instr.pattern = None
+                instr.taken_probability = probability
+                instr.is_mem = False
+                instr.target_pc = 0
+                instr.rotate = ()
+                append(instr)
+                pc += size
+        else:
+            raise ValueError("cannot unroll IR op kind %r" % kind)
+        return out
+
+
+class AssembledBlock:
+    """A lowered IR block: static instructions plus dependency metadata.
+
+    ``segments`` is the compact lowered form: a sequence whose items are
+    either eager ``StaticInstr`` lists or :class:`UnrolledRun` records.
+    The predecode tier decodes straight from segments; :attr:`instrs`
+    materializes (and caches) the flat per-instruction view for the
+    legacy tier and validation.
+    """
+
+    __slots__ = ("_instrs", "kind", "segments")
+
+    def __init__(self, instrs: Optional[List[StaticInstr]], kind: str,
+                 segments: Optional[tuple] = None):
+        if segments is None:
+            segments = ((instrs if instrs is not None else []),)
+            self._instrs = instrs
+        else:
+            self._instrs = instrs
+        self.kind = kind
+        self.segments = segments
+
+    @property
+    def instrs(self) -> List[StaticInstr]:
+        flat = self._instrs
+        if flat is None:
+            flat = []
+            for segment in self.segments:
+                if type(segment) is UnrolledRun:
+                    flat.extend(segment.materialize())
+                else:
+                    flat.extend(segment)
+            self._instrs = flat
+        return flat
 
 
 class AssembledLoop:
@@ -264,14 +418,20 @@ class ISA:
 
     def _assemble_block(self, block: ir.Block, ctx: "_AsmContext") -> AssembledBlock:
         instrs: List[StaticInstr] = []
+        segments: List[object] = []
         chain = 0
         for op in block.ops:
             scaled = op.count * self.expansion_for(op.kind, block.kind)
             count = max(1, int(round(scaled)))
             if op.unrolled:
                 # Distinct PCs, each executed once: honest I-footprint.
-                emitted, chain = self._emit_unrolled(op, count, block, chain, ctx)
-                instrs.extend(emitted)
+                # Deferred: the run materializes per-instruction form
+                # only if a legacy consumer asks for it.
+                run, chain = self._emit_unrolled(op, count, block, chain, ctx)
+                if instrs:
+                    segments.append(instrs)
+                    instrs = []
+                segments.append(run)
                 continue
             rotate = tuple(
                 ctx.chain_reg(chain + lane) for lane in range(block.ilp)
@@ -340,7 +500,11 @@ class ISA:
                     )
             else:
                 raise ValueError("cannot lower IR op kind %r" % op.kind)
-        return AssembledBlock(instrs, block.kind)
+        if not segments:
+            return AssembledBlock(instrs, block.kind)
+        if instrs:
+            segments.append(instrs)
+        return AssembledBlock(None, block.kind, tuple(segments))
 
     def _emit_unrolled(
         self,
@@ -349,108 +513,36 @@ class ISA:
         block: ir.Block,
         chain: int,
         ctx: "_AsmContext",
-    ) -> Tuple[List[StaticInstr], int]:
-        """Lower one IR op to ``count`` distinct static instructions.
+    ) -> Tuple[UnrolledRun, int]:
+        """Lower one IR op to a deferred run of ``count`` instructions.
 
-        This is the assembler's hot path: straight-line boot/runtime code
-        unrolls to hundreds of thousands of instructions.  Sizes are
-        drawn in bulk (:meth:`instr_sizes`) and the per-lane registers
-        precomputed, so the loop body is one :class:`StaticInstr`
-        construction.  Layout (PCs, sizes, registers, patterns) is
-        byte-identical to emitting one instruction at a time.
+        This is the assembler's hot path: straight-line boot/runtime
+        code unrolls to hundreds of thousands of instructions.  Sizes
+        are drawn in bulk (:meth:`instr_sizes`) — the layout rng and PC
+        cursor advance exactly as per-instruction emission would — but
+        the :class:`StaticInstr` objects themselves are deferred to
+        :meth:`UnrolledRun.materialize`, which only legacy consumers
+        trigger; the predecode tier decodes the run directly.
         """
-        sizes = self.instr_sizes(ctx.rng, count)
-        pc = ctx.pc
-        ilp = block.ilp
         kind = op.kind
-        out: List[StaticInstr] = []
-        append = out.append
-        new = StaticInstr.__new__
         if kind in _COMPUTE_CLASS:
             icls = _COMPUTE_CLASS[kind]
-            fp = kind in (ir.OP_FALU, ir.OP_FMUL, ir.OP_FDIV)
-            base = FP_CHAIN_BASE if fp else INT_CHAIN_BASE
-            lanes = [(base + (lane % 24), (base + (lane % 24), ZERO_REG))
-                     for lane in range(ilp)]
-            for index in range(count):
-                reg, srcs = lanes[(chain + index) % ilp]
-                size = sizes[index]
-                instr = new(StaticInstr)
-                instr.pc = pc
-                instr.size = size
-                instr.icls = icls
-                instr.srcs = srcs
-                instr.dst = reg
-                instr.repeat = 1
-                instr.region = None
-                instr.pattern = None
-                instr.taken_probability = 1.0
-                instr.is_mem = False
-                instr.target_pc = 0
-                instr.rotate = ()
-                append(instr)
-                pc += size
-        elif kind == ir.OP_LOAD or kind == ir.OP_STORE:
-            regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
-            region = op.region
-            load = kind == ir.OP_LOAD
-            icls = InstrClass.LOAD if load else InstrClass.STORE
-            load_srcs = (ADDR_REG,)
-            strided = isinstance(op.pattern, ir.StridePattern)
-            for index in range(count):
-                reg = regs[(chain + index) % ilp]
-                size = sizes[index]
-                if strided:
-                    pattern: Optional[ir.AddressPattern] = ir.StridePattern(
-                        stride=op.pattern.stride,
-                        start=op.pattern.start + index * op.pattern.stride)
-                else:
-                    pattern = op.pattern
-                instr = new(StaticInstr)
-                instr.pc = pc
-                instr.size = size
-                instr.icls = icls
-                if load:
-                    instr.srcs = load_srcs
-                    instr.dst = reg
-                else:
-                    instr.srcs = (reg, ADDR_REG)
-                    instr.dst = -1
-                instr.repeat = 1
-                instr.region = region
-                instr.pattern = pattern
-                instr.taken_probability = 1.0
-                instr.is_mem = True
-                instr.target_pc = 0
-                instr.rotate = ()
-                append(instr)
-                pc += size
+        elif kind == ir.OP_LOAD:
+            icls = InstrClass.LOAD
+        elif kind == ir.OP_STORE:
+            icls = InstrClass.STORE
         elif kind == ir.OP_BRANCH:
             icls = InstrClass.BRANCH
-            regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
-            probability = op.taken_probability
-            for index in range(count):
-                reg = regs[(chain + index) % ilp]
-                size = sizes[index]
-                instr = new(StaticInstr)
-                instr.pc = pc
-                instr.size = size
-                instr.icls = icls
-                instr.srcs = (reg,)
-                instr.dst = -1
-                instr.repeat = 1
-                instr.region = None
-                instr.pattern = None
-                instr.taken_probability = probability
-                instr.is_mem = False
-                instr.target_pc = 0
-                instr.rotate = ()
-                append(instr)
-                pc += size
         else:
-            raise ValueError("cannot unroll IR op kind %r" % op.kind)
-        ctx.pc = pc
-        return out, chain + count
+            raise ValueError("cannot unroll IR op kind %r" % kind)
+        sizes = self.instr_sizes(ctx.rng, count)
+        run = UnrolledRun(
+            kind, icls, count, ctx.pc, sizes, chain, block.ilp,
+            kind in (ir.OP_FALU, ir.OP_FMUL, ir.OP_FDIV),
+            op.region, op.pattern, op.taken_probability,
+        )
+        ctx.pc += sum(sizes)
+        return run, chain + count
 
     @staticmethod
     def _unrolled_pattern(

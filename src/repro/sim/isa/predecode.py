@@ -42,6 +42,7 @@ from repro.sim.isa.base import (
     AssembledCall,
     AssembledLoop,
     InstrClass,
+    UnrolledRun,
 )
 
 #: Kept in sync with :data:`repro.sim.isa.trace._MAX_CALL_DEPTH`.
@@ -56,6 +57,20 @@ _NUM_CLASSES = len(InstrClass.NAMES)
 _ENABLED = os.environ.get("REPRO_PREDECODE", "1").lower() not in (
     "0", "false", "off", "no",
 )
+
+#: Process-wide tier-2 counters (see ``python -m repro cache stats``):
+#: ``block_replays`` counts block-node executions through the decoded
+#: replayers, ``decoded_blocks`` counts decode misses (first replay of a
+#: block per consumer flavour).  The hit rate is their complement.
+STATS: dict = {}
+
+
+def reset_stats() -> None:
+    """Zero the tier-2 counters."""
+    STATS.update(block_replays=0, decoded_blocks=0)
+
+
+reset_stats()
 
 
 def enabled() -> bool:
@@ -127,8 +142,13 @@ def program_length(assembled) -> int:
             if kind is AssembledBlock:
                 n = block_counts.get(id(node))
                 if n is None:
-                    n = block_counts[id(node)] = sum(
-                        instr.repeat for instr in node.instrs)
+                    n = 0
+                    for segment in node.segments:
+                        if type(segment) is UnrolledRun:
+                            n += segment.count
+                        else:
+                            n += sum(instr.repeat for instr in segment)
+                    block_counts[id(node)] = n
                 total += n
             elif kind is AssembledLoop:
                 # Per trip: the body plus the backedge branch.
@@ -160,10 +180,87 @@ def program_length(assembled) -> int:
 #   (3, n)                               n syscalls: cycles += 21 * n
 #   (4, write, pc, addrs)                memory run, precomputed addresses
 #   (5, write, pc, region, pattern, n)   memory run, rng-drawn addresses
+#   (6, write, pairs)                    memory run, precomputed (pc, addr)
+#                                        pairs spanning several static
+#                                        instructions (unrolled lowering)
 #
 # Plain cycles accumulate across consecutive non-memory, non-drawing
 # instructions and flush before any step that observes the cycle count
 # or the rng, so every data_access() sees exactly the legacy cycle.
+
+
+def _decode_atomic_run(run, line_shift, steps, append, counts, prev_line,
+                       pending):
+    """Decode one :class:`UnrolledRun` straight from its compact form.
+
+    Emits the same access stream the materialized per-instruction form
+    decodes to — same fetch points, same per-access PCs and addresses —
+    without ever creating the ``StaticInstr`` objects.
+    """
+    icls = run.icls
+    counts[icls] += run.count
+    pc = run.base_pc
+    sizes = run.sizes
+    if icls == _LOAD or icls == _STORE:
+        if pending:
+            append((1, pending))
+            pending = 0
+        write = icls == _STORE
+        pattern = run.pattern
+        if type(pattern) is ir.StridePattern:
+            region = run.region
+            rbase = region.base
+            rsize = region.size
+            stride = pattern.stride
+            start = pattern.start
+            pairs: List[tuple] = []
+            for index, size in enumerate(sizes):
+                line = pc >> line_shift
+                if line != prev_line:
+                    if pairs:
+                        append((6, write, tuple(pairs)))
+                        pairs = []
+                    append((0, pc, line))
+                    prev_line = line
+                pairs.append((pc, rbase + (start + index * stride) % rsize))
+                pc += size
+            if pairs:
+                append((6, write, tuple(pairs)))
+        else:
+            region = run.region
+            for size in sizes:
+                line = pc >> line_shift
+                if line != prev_line:
+                    append((0, pc, line))
+                    prev_line = line
+                append((5, write, pc, region, pattern, 1))
+                pc += size
+    elif icls == _BRANCH and run.probability < 1.0:
+        if pending:
+            append((1, pending))
+            pending = 0
+        for size in sizes:
+            line = pc >> line_shift
+            if line != prev_line:
+                append((0, pc, line))
+                prev_line = line
+            if steps and steps[-1][0] == 2:
+                steps[-1] = (2, steps[-1][1] + 1)
+            else:
+                append((2, 1))
+            pc += size
+    else:  # compute / always-taken branch: plain cycles
+        for size in sizes:
+            line = pc >> line_shift
+            if line != prev_line:
+                if pending:
+                    append((1, pending))
+                    pending = 0
+                append((0, pc, line))
+                prev_line = line
+            pending += 1
+            pc += size
+    return prev_line, pending
 
 
 def _decode_atomic_block(block, line_shift: int):
@@ -172,46 +269,52 @@ def _decode_atomic_block(block, line_shift: int):
     counts = [0] * _NUM_CLASSES
     prev_line = -1
     pending = 0
-    for instr in block.instrs:
-        pc = instr.pc
-        line = pc >> line_shift
-        if line != prev_line:
-            if pending:
-                append((1, pending))
-                pending = 0
-            append((0, pc, line))
-            prev_line = line
-        icls = instr.icls
-        n = instr.repeat
-        counts[icls] += n
-        if instr.is_mem:
-            if pending:
-                append((1, pending))
-                pending = 0
-            write = icls == _STORE
-            addrs = _stride_addrs(instr, n)
-            if addrs is not None:
-                append((4, write, pc, addrs))
+    for segment in block.segments:
+        if type(segment) is UnrolledRun:
+            prev_line, pending = _decode_atomic_run(
+                segment, line_shift, steps, append, counts, prev_line,
+                pending)
+            continue
+        for instr in segment:
+            pc = instr.pc
+            line = pc >> line_shift
+            if line != prev_line:
+                if pending:
+                    append((1, pending))
+                    pending = 0
+                append((0, pc, line))
+                prev_line = line
+            icls = instr.icls
+            n = instr.repeat
+            counts[icls] += n
+            if instr.is_mem:
+                if pending:
+                    append((1, pending))
+                    pending = 0
+                write = icls == _STORE
+                addrs = _stride_addrs(instr, n)
+                if addrs is not None:
+                    append((4, write, pc, addrs))
+                else:
+                    append((5, write, pc, instr.region, instr.pattern, n))
+            elif icls == _BRANCH and instr.taken_probability < 1.0:
+                if pending:
+                    append((1, pending))
+                    pending = 0
+                if steps and steps[-1][0] == 2:
+                    steps[-1] = (2, steps[-1][1] + n)
+                else:
+                    append((2, n))
+            elif icls == _SYSCALL:
+                if pending:
+                    append((1, pending))
+                    pending = 0
+                if steps and steps[-1][0] == 3:
+                    steps[-1] = (3, steps[-1][1] + n)
+                else:
+                    append((3, n))
             else:
-                append((5, write, pc, instr.region, instr.pattern, n))
-        elif icls == _BRANCH and instr.taken_probability < 1.0:
-            if pending:
-                append((1, pending))
-                pending = 0
-            if steps and steps[-1][0] == 2:
-                steps[-1] = (2, steps[-1][1] + n)
-            else:
-                append((2, n))
-        elif icls == _SYSCALL:
-            if pending:
-                append((1, pending))
-                pending = 0
-            if steps and steps[-1][0] == 3:
-                steps[-1] = (3, steps[-1][1] + n)
-            else:
-                append((3, n))
-        else:
-            pending += n
+                pending += n
     if pending:
         append((1, pending))
     pairs = tuple((icls, c) for icls, c in enumerate(counts) if c)
@@ -233,13 +336,16 @@ def atomic_run(assembled, seed: int, mem) -> Tuple[int, List[int]]:
     blocks = _cache_for(assembled, ("atomic", line_shift))
     routines = assembled.routines
     class_counts = [0] * _NUM_CLASSES
+    stats = STATS
 
     def run_body(body, cycles, current_line, depth):
         for node in body:
             kind = type(node)
             if kind is AssembledBlock:
+                stats["block_replays"] += 1
                 decoded = blocks.get(id(node))
                 if decoded is None:
+                    stats["decoded_blocks"] += 1
                     decoded = blocks[id(node)] = _decode_atomic_block(
                         node, line_shift)
                 steps, pairs = decoded
@@ -267,6 +373,11 @@ def atomic_run(assembled, seed: int, mem) -> Tuple[int, List[int]]:
                             cycles += 1
                             cycles += data_access(base + offset, write,
                                                   cycles, pc)
+                    elif tag == 6:
+                        write = step[1]
+                        for pc, addr in step[2]:
+                            cycles += 1
+                            cycles += data_access(addr, write, cycles, pc)
                     elif tag == 2:
                         n = step[1]
                         for _ in range(n):
@@ -331,6 +442,68 @@ def atomic_run(assembled, seed: int, mem) -> Tuple[int, List[int]]:
 #   (3, pc, n)                           always-taken branch (trains bpred)
 #   (4, pc, n, p)                        probabilistic branch (draws always,
 #                                        trains bpred when attached)
+#   (5, write, pairs)                    memory run, precomputed (pc, addr)
+#                                        pairs spanning several static
+#                                        instructions (unrolled lowering)
+
+
+def _decode_warm_run(run, line_shift, append, prev_line):
+    """Decode one :class:`UnrolledRun` for warming, skipping materialize."""
+    icls = run.icls
+    pc = run.base_pc
+    sizes = run.sizes
+    if icls == _LOAD or icls == _STORE:
+        write = icls == _STORE
+        pattern = run.pattern
+        if type(pattern) is ir.StridePattern:
+            region = run.region
+            rbase = region.base
+            rsize = region.size
+            stride = pattern.stride
+            start = pattern.start
+            pairs: List[tuple] = []
+            for index, size in enumerate(sizes):
+                line = pc >> line_shift
+                if line != prev_line:
+                    if pairs:
+                        append((5, write, tuple(pairs)))
+                        pairs = []
+                    append((0, pc, line))
+                    prev_line = line
+                pairs.append((pc, rbase + (start + index * stride) % rsize))
+                pc += size
+            if pairs:
+                append((5, write, tuple(pairs)))
+        else:
+            region = run.region
+            for size in sizes:
+                line = pc >> line_shift
+                if line != prev_line:
+                    append((0, pc, line))
+                    prev_line = line
+                append((2, write, pc, region, pattern, 1))
+                pc += size
+    elif icls == _BRANCH:
+        taken = run.probability >= 1.0
+        probability = run.probability
+        for size in sizes:
+            line = pc >> line_shift
+            if line != prev_line:
+                append((0, pc, line))
+                prev_line = line
+            if taken:
+                append((3, pc, 1))
+            else:
+                append((4, pc, 1, probability))
+            pc += size
+    else:  # compute: only fetch points matter for warming
+        for size in sizes:
+            line = pc >> line_shift
+            if line != prev_line:
+                append((0, pc, line))
+                prev_line = line
+            pc += size
+    return prev_line
 
 
 def _decode_warm_block(block, line_shift: int):
@@ -338,27 +511,33 @@ def _decode_warm_block(block, line_shift: int):
     append = steps.append
     count = 0
     prev_line = -1
-    for instr in block.instrs:
-        pc = instr.pc
-        line = pc >> line_shift
-        if line != prev_line:
-            append((0, pc, line))
-            prev_line = line
-        icls = instr.icls
-        n = instr.repeat
-        count += n
-        if instr.is_mem:
-            write = icls == _STORE
-            addrs = _stride_addrs(instr, n)
-            if addrs is not None:
-                append((1, write, pc, addrs))
-            else:
-                append((2, write, pc, instr.region, instr.pattern, n))
-        elif icls == _BRANCH:
-            if instr.taken_probability >= 1.0:
-                append((3, pc, n))
-            else:
-                append((4, pc, n, instr.taken_probability))
+    for segment in block.segments:
+        if type(segment) is UnrolledRun:
+            count += segment.count
+            prev_line = _decode_warm_run(segment, line_shift, append,
+                                         prev_line)
+            continue
+        for instr in segment:
+            pc = instr.pc
+            line = pc >> line_shift
+            if line != prev_line:
+                append((0, pc, line))
+                prev_line = line
+            icls = instr.icls
+            n = instr.repeat
+            count += n
+            if instr.is_mem:
+                write = icls == _STORE
+                addrs = _stride_addrs(instr, n)
+                if addrs is not None:
+                    append((1, write, pc, addrs))
+                else:
+                    append((2, write, pc, instr.region, instr.pattern, n))
+            elif icls == _BRANCH:
+                if instr.taken_probability >= 1.0:
+                    append((3, pc, n))
+                else:
+                    append((4, pc, n, instr.taken_probability))
     return steps, count
 
 
@@ -379,13 +558,16 @@ def warm_run(assembled, seed: int, mem, bpred=None) -> int:
     blocks = _cache_for(assembled, ("warm", line_shift))
     routines = assembled.routines
     total = [0]
+    stats = STATS
 
     def run_body(body, current_line, depth):
         for node in body:
             kind = type(node)
             if kind is AssembledBlock:
+                stats["block_replays"] += 1
                 decoded = blocks.get(id(node))
                 if decoded is None:
+                    stats["decoded_blocks"] += 1
                     decoded = blocks[id(node)] = _decode_warm_block(
                         node, line_shift)
                 steps, block_count = decoded
@@ -414,6 +596,10 @@ def warm_run(assembled, seed: int, mem, bpred=None) -> int:
                             pc = step[1]
                             for _ in range(step[2]):
                                 predict(pc, True)
+                    elif tag == 5:
+                        write = step[1]
+                        for pc, addr in step[2]:
+                            warm_touch(addr, False, write, pc)
                     else:  # tag == 4
                         pc = step[1]
                         probability = step[3]
@@ -505,37 +691,116 @@ def _edge_run(instr, taken, line_shift, lat_t, busy_t, ser_t):
             0, None, taken)
 
 
+def _decode_o3_run(run, line_shift, lat_t, busy_t, ser_t, entries):
+    """Decode one :class:`UnrolledRun` to per-instance O3 entries.
+
+    Emits exactly what decoding the materialized instructions would —
+    same PCs, register lanes, addresses, and rng templates — without
+    creating the ``StaticInstr`` objects.
+    """
+    from repro.sim.isa.base import (
+        ADDR_REG, FP_CHAIN_BASE, INT_CHAIN_BASE, ZERO_REG,
+    )
+    icls = run.icls
+    pc = run.base_pc
+    sizes = run.sizes
+    chain = run.chain
+    ilp = run.ilp
+    ser = ser_t[icls]
+    lat = lat_t[icls]
+    busy = busy_t[icls]
+    append = entries.append
+    if icls == _LOAD or icls == _STORE:
+        load = icls == _LOAD
+        memkind = 1 if load else 2
+        regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
+        region = run.region
+        pattern = run.pattern
+        if type(pattern) is ir.StridePattern:
+            rbase = region.base
+            rsize = region.size
+            stride = pattern.stride
+            start = pattern.start
+            for index, size in enumerate(sizes):
+                reg = regs[(chain + index) % ilp]
+                srcs = (ADDR_REG,) if load else (reg, ADDR_REG)
+                dst = reg if load else -1
+                addr = rbase + (start + index * stride) % rsize
+                append((0, (1, icls, pc, pc >> line_shift, srcs, dst,
+                            None, ser, lat, busy, memkind, (addr,), None)))
+                pc += size
+        else:
+            for index, size in enumerate(sizes):
+                reg = regs[(chain + index) % ilp]
+                srcs = (ADDR_REG,) if load else (reg, ADDR_REG)
+                dst = reg if load else -1
+                append((1, (1, icls, pc, pc >> line_shift, srcs, dst,
+                            None, ser, lat, busy, memkind, region,
+                            pattern)))
+                pc += size
+    elif icls == _BRANCH:
+        regs = [INT_CHAIN_BASE + (lane % 24) for lane in range(ilp)]
+        probability = run.probability
+        if probability < 1.0:
+            for index, size in enumerate(sizes):
+                reg = regs[(chain + index) % ilp]
+                append((2, (1, icls, pc, pc >> line_shift, (reg,), -1,
+                            None, ser, lat, busy, probability)))
+                pc += size
+        else:
+            for index, size in enumerate(sizes):
+                reg = regs[(chain + index) % ilp]
+                append((0, (1, icls, pc, pc >> line_shift, (reg,), -1,
+                            None, ser, lat, busy, 0, None, True)))
+                pc += size
+    else:  # compute: dst = lane register, srcs = (lane, zero)
+        base = FP_CHAIN_BASE if run.fp else INT_CHAIN_BASE
+        lanes = [(base + (lane % 24), (base + (lane % 24), ZERO_REG))
+                 for lane in range(ilp)]
+        for index, size in enumerate(sizes):
+            reg, srcs = lanes[(chain + index) % ilp]
+            append((0, (1, icls, pc, pc >> line_shift, srcs, reg,
+                        None, ser, lat, busy, 0, None, None)))
+            pc += size
+
+
 def _decode_o3_block(block, line_shift, lat_t, busy_t, ser_t):
     entries: List[tuple] = []
-    for instr in block.instrs:
-        icls = instr.icls
-        pc = instr.pc
-        count = instr.repeat
-        lanes = _make_lanes(instr)
-        line = pc >> line_shift
-        ser = ser_t[icls]
-        lat = lat_t[icls]
-        busy = busy_t[icls]
-        if instr.is_mem:
-            memkind = 1 if icls == _LOAD else 2
-            addrs = _stride_addrs(instr, count)
-            if addrs is None:
-                entries.append((1, (count, icls, pc, line, instr.srcs,
+    for segment in block.segments:
+        if type(segment) is UnrolledRun:
+            _decode_o3_run(segment, line_shift, lat_t, busy_t, ser_t,
+                           entries)
+            continue
+        for instr in segment:
+            icls = instr.icls
+            pc = instr.pc
+            count = instr.repeat
+            lanes = _make_lanes(instr)
+            line = pc >> line_shift
+            ser = ser_t[icls]
+            lat = lat_t[icls]
+            busy = busy_t[icls]
+            if instr.is_mem:
+                memkind = 1 if icls == _LOAD else 2
+                addrs = _stride_addrs(instr, count)
+                if addrs is None:
+                    entries.append((1, (count, icls, pc, line, instr.srcs,
+                                        instr.dst, lanes, ser, lat, busy,
+                                        memkind, instr.region,
+                                        instr.pattern)))
+                else:
+                    entries.append((0, (count, icls, pc, line, instr.srcs,
+                                        instr.dst, lanes, ser, lat, busy,
+                                        memkind, addrs, None)))
+            elif icls == _BRANCH and instr.taken_probability < 1.0:
+                entries.append((2, (count, icls, pc, line, instr.srcs,
                                     instr.dst, lanes, ser, lat, busy,
-                                    memkind, instr.region, instr.pattern)))
+                                    instr.taken_probability)))
             else:
+                takens = True if icls == _BRANCH else None
                 entries.append((0, (count, icls, pc, line, instr.srcs,
                                     instr.dst, lanes, ser, lat, busy,
-                                    memkind, addrs, None)))
-        elif icls == _BRANCH and instr.taken_probability < 1.0:
-            entries.append((2, (count, icls, pc, line, instr.srcs,
-                                instr.dst, lanes, ser, lat, busy,
-                                instr.taken_probability)))
-        else:
-            takens = True if icls == _BRANCH else None
-            entries.append((0, (count, icls, pc, line, instr.srcs,
-                                instr.dst, lanes, ser, lat, busy,
-                                0, None, takens)))
+                                    0, None, takens)))
     return entries
 
 
@@ -544,13 +809,16 @@ def _o3_decoded_runs(assembled, seed, line_shift, lat_t, busy_t, ser_t):
     rng_random = rng.random
     blocks = _cache_for(assembled, ("o3", line_shift))
     routines = assembled.routines
+    stats = STATS
 
     def run_body(body, depth):
         for node in body:
             kind = type(node)
             if kind is AssembledBlock:
+                stats["block_replays"] += 1
                 decoded = blocks.get(id(node))
                 if decoded is None:
+                    stats["decoded_blocks"] += 1
                     decoded = blocks[id(node)] = _decode_o3_block(
                         node, line_shift, lat_t, busy_t, ser_t)
                 for tag, payload in decoded:
@@ -644,8 +912,17 @@ def _o3_legacy_runs(assembled, seed, line_shift, lat_t, busy_t, ser_t):
 
 
 def o3_stream(assembled, seed, line_shift, lat_t, busy_t, ser_t) -> Iterator[tuple]:
-    """The O3 model's instruction-run stream (decoded or legacy)."""
+    """The O3 model's instruction-run stream (jit, decoded, or legacy).
+
+    Both the merged pipeline loop and the sampled fast-forward/warmup
+    windows consume this stream, so the tier choice made here covers
+    every O3 execution mode.
+    """
     if _ENABLED:
+        from repro.sim.isa import blockjit
+        if blockjit.enabled():
+            return blockjit.o3_stream(assembled, seed, line_shift,
+                                      lat_t, busy_t, ser_t)
         return _o3_decoded_runs(assembled, seed, line_shift,
                                 lat_t, busy_t, ser_t)
     return _o3_legacy_runs(assembled, seed, line_shift,

@@ -75,6 +75,70 @@ class TestProtocol:
         # Same object: served from the cache, not re-booted.
         assert second._boot_checkpoint is first._boot_checkpoint
 
+    def test_layered_boot_reuses_shared_prefix(self, monkeypatch):
+        """Two service sets sharing a prefix boot the shared services
+        once: the second prepare restores the cached layer and runs only
+        the new service's boot program."""
+        from repro.db.cassandra import CassandraStore
+        from repro.workloads.hotel import HotelSuite
+
+        runs = []
+        original = ExperimentHarness._run_setup_program
+
+        def counting(self, program):
+            runs.append(program.name)
+            return original(self, program)
+
+        monkeypatch.setattr(ExperimentHarness, "_run_setup_program",
+                            counting)
+        suite = HotelSuite(CassandraStore())
+        functions = {fn.short_name: fn for fn in suite.functions}
+        first = ExperimentHarness(isa="riscv", scale=SCALE)
+        first.prepare(service_stores=ExperimentHarness._stores_of(
+            suite.services_for(functions["geo"])))
+        booted = len(runs)
+        assert booted == 2  # base boot + cassandra
+        second = ExperimentHarness(isa="riscv", scale=SCALE)
+        second.prepare(service_stores=ExperimentHarness._stores_of(
+            suite.services_for(functions["rate"])))
+        # Only memcached's boot ran; base + cassandra came from layers.
+        assert len(runs) == booted + 1
+
+    def test_layered_boot_measures_like_straight_through(self):
+        """Continuing from a restored layer is state-identical to booting
+        straight through: measuring in either prepare order gives the
+        same counters.  (Stat *group* presence can differ — a harness
+        that restored every layer never instantiates the setup CPU's
+        stat group — so zero-valued keys are normalised out.)"""
+        from repro.db.cassandra import CassandraStore
+        from repro.workloads.hotel import HotelSuite
+
+        def measure(order):
+            clear_boot_checkpoint_cache()
+            suite = HotelSuite(CassandraStore())
+            functions = {fn.short_name: fn for fn in suite.functions}
+            out = {}
+            for name in order:
+                harness = ExperimentHarness(isa="riscv", scale=SCALE)
+                out[name] = harness.measure_function(
+                    functions[name],
+                    services=suite.services_for(functions[name]))
+            return out
+
+        def nonzero(dump):
+            return {key: value for key, value in dump.items() if value}
+
+        forward = measure(["geo", "rate"])
+        reverse = measure(["rate", "geo"])
+        for name in ("geo", "rate"):
+            for phase in ("cold", "warm"):
+                a = getattr(forward[name], phase)
+                b = getattr(reverse[name], phase)
+                for field in type(a).FIELDS:
+                    assert getattr(a, field) == getattr(b, field), (
+                        name, phase, field)
+                assert nonzero(a.raw_dump) == nonzero(b.raw_dump)
+
     def test_kvm_setup_falls_back_on_instability(self):
         harness = ExperimentHarness(isa="riscv", scale=SCALE, setup_cpu="kvm",
                                     seed=0)

@@ -1,0 +1,177 @@
+"""Hot-block JIT equivalence: tier-3 compiled replay is bit-identical to
+the tier-2 interpreter and the legacy trace path — RunResult, full stat
+dumps, and trace event logs — across ISAs, CPU models, sampling, and
+program shapes.  Repeat counts cross the promotion threshold so the
+comparisons genuinely exercise compiled functions, not the interpreter
+fallback."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.isa import blockjit, predecode
+from repro.sim.system import SimulatedSystem
+from tests.sim.test_predecode import build_program
+
+ISAS = ("riscv", "x86", "arm")
+
+#: Replays per comparison: enough for every static block to cross the
+#: promotion threshold and then execute compiled at least once.
+REPLAYS = blockjit.threshold() + 2
+
+
+def run_with(jit, program, isa, model, seed, sampling=None):
+    previous = blockjit.set_enabled(jit)
+    try:
+        system = SimulatedSystem("s", isa)
+        results = []
+        for _ in range(REPLAYS):
+            result = system.run(1, program, model=model, seed=seed,
+                                sampling=sampling)
+            results.append((result.cycles, result.instructions,
+                            result.loads, result.stores, result.branches))
+        return results, system.dump_stats()
+    finally:
+        blockjit.set_enabled(previous)
+
+
+def assert_jit_equivalent(program, isa, model, seed=0, sampling=None):
+    compiled, compiled_stats = run_with(True, program, isa, model, seed,
+                                        sampling)
+    interpreted, interpreted_stats = run_with(False, program, isa, model,
+                                              seed, sampling)
+    assert compiled == interpreted
+    assert compiled_stats == interpreted_stats
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("isa", ISAS)
+    @pytest.mark.parametrize("model", ["atomic", "o3"])
+    def test_models_bit_identical(self, isa, model):
+        assert_jit_equivalent(build_program(seed=3), isa, model, seed=3)
+
+    @pytest.mark.parametrize("isa", ISAS)
+    def test_random_patterns_draw_identically(self, isa):
+        program = build_program(seed=5, random_pattern=True)
+        assert_jit_equivalent(program, isa, "o3", seed=5)
+
+    @pytest.mark.parametrize("isa", ISAS)
+    def test_sampled_bit_identical(self, isa):
+        from repro.sim.sampling import SamplingConfig
+
+        program = build_program(seed=9, trips=40)
+        config = SamplingConfig(interval=2048, detail=512, warmup=128,
+                                jitter=True, min_insts=0)
+        assert_jit_equivalent(program, isa, "o3", seed=9, sampling=config)
+
+    def test_warming_equivalent(self):
+        """Functional warming (bpred training included) must not see the
+        tier: same cache/TLB state, same predictor state."""
+        program = build_program(seed=1)
+        stats = {}
+        for jit in (True, False):
+            previous = blockjit.set_enabled(jit)
+            try:
+                system = SimulatedSystem("w", "riscv")
+                system.cpu(1, "o3")  # instantiate so warming trains bpred
+                for _ in range(REPLAYS):
+                    system.warm(1, program, seed=1)
+                stats[jit] = system.dump_stats()
+            finally:
+                blockjit.set_enabled(previous)
+        assert stats[True] == stats[False]
+
+    def test_compiled_units_actually_used(self):
+        """The equivalence above must not be vacuous: replaying past the
+        threshold promotes blocks and routes executions through them."""
+        program = build_program(seed=7)
+        previous = blockjit.set_enabled(True)
+        blockjit.reset_stats()
+        try:
+            system = SimulatedSystem("s", "riscv")
+            for _ in range(REPLAYS):
+                system.run(1, program, model="atomic", seed=7)
+        finally:
+            blockjit.set_enabled(previous)
+        assert blockjit.STATS["compiled_units"] > 0
+        assert blockjit.STATS["compiled_calls"] > 0
+
+    def test_mega_block_declined_but_identical(self):
+        """Blocks whose generated body would blow the statement budget
+        stay interpreted — declined, never half-compiled — and replay
+        bit-identically."""
+        from repro.sim.isa import ir
+
+        program = ir.Program("mega", seed=2)
+        buf = program.space.alloc("buf", 1 << 14)
+        boot = ir.straightline_block(32 * blockjit._MAX_STMTS,
+                                     data_region=buf)
+        program.add_routine(ir.Routine("main", boot), entry=True)
+        blockjit.reset_stats()
+        compiled = run_with(True, program, "riscv", "atomic", 2)
+        declined = blockjit.STATS["declined"]
+        interpreted = run_with(False, program, "riscv", "atomic", 2)
+        assert compiled == interpreted
+        assert declined > 0
+
+
+class TestTracedEquivalence:
+    def test_trace_event_logs_identical(self):
+        """The obs layer's frozen event log must not see the JIT tier."""
+        from repro.core import smoke
+        from repro.core.harness import ExperimentHarness
+        from repro.core.scale import SimScale
+        from repro.obs.tracer import Tracer
+        from repro.workloads.catalog import STANDALONE_FUNCTIONS
+
+        fn = STANDALONE_FUNCTIONS[0]
+        scale = SimScale(512, 16)
+        captures = {}
+        for jit in (True, False):
+            smoke._clear_process_caches()
+            previous = blockjit.set_enabled(jit)
+            try:
+                tracer = Tracer()
+                harness = ExperimentHarness(isa="riscv", scale=scale,
+                                            tracer=tracer)
+                harness.measure_function(fn)
+                captures[jit] = tracer.freeze()
+            finally:
+                blockjit.set_enabled(previous)
+        assert captures[True] == captures[False]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    isa=st.sampled_from(ISAS),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    trips=st.integers(min_value=1, max_value=40),
+    taken_probability=st.floats(min_value=0.0, max_value=1.0),
+    random_pattern=st.booleans(),
+    model=st.sampled_from(["atomic", "o3"]),
+)
+def test_property_equivalence(isa, seed, trips, taken_probability,
+                              random_pattern, model):
+    program = build_program(seed=seed, trips=trips,
+                            taken_probability=taken_probability,
+                            random_pattern=random_pattern)
+    assert_jit_equivalent(program, isa, model, seed=seed)
+
+
+def test_predecode_legacy_unaffected_by_jit_toggle():
+    """REPRO_PREDECODE=0 must pin the legacy path regardless of the JIT
+    toggle: tier 3 sits on top of tier 2, never beside it."""
+    program = build_program(seed=11)
+    previous_pd = predecode.set_enabled(False)
+    previous_jit = blockjit.set_enabled(True)
+    try:
+        legacy_system = SimulatedSystem("s", "riscv")
+        legacy = legacy_system.run(1, program, model="atomic", seed=11)
+    finally:
+        blockjit.set_enabled(previous_jit)
+        predecode.set_enabled(previous_pd)
+    system = SimulatedSystem("s", "riscv")
+    tiered = system.run(1, program, model="atomic", seed=11)
+    assert (legacy.cycles, legacy.instructions) == (
+        tiered.cycles, tiered.instructions)
+    assert legacy_system.dump_stats() == system.dump_stats()
