@@ -118,6 +118,23 @@ def _sampling_from(args):
         raise SystemExit(str(error))
 
 
+def _add_vector_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vector", default=None, metavar="SPEC",
+        help="vector unit: a preset (rvv128/rvv256/rvv512), key=value "
+             "pairs (vlen=256,lanes=2), or off (default: off — vector IR "
+             "lowers to scalar instructions)")
+
+
+def _vector_from(args):
+    from repro.sim.isa.vector import VectorConfig
+
+    try:
+        return VectorConfig.parse(getattr(args, "vector", None))
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def _hotel_services(db_name: str):
     from repro.db import make_datastore
     from repro.workloads.hotel import HotelSuite
@@ -149,8 +166,10 @@ def _format_stats(label: str, stats) -> str:
 
 def cmd_list(args) -> int:
     """Print the benchmark catalog."""
+    from repro.workloads.catalog import ML_FUNCTIONS
+
     print("%-30s %-8s %-12s" % ("function", "runtime", "suite"))
-    for function in all_functions():
+    for function in all_functions() + ML_FUNCTIONS:
         print("%-30s %-8s %-12s" % (function.name, function.runtime_name,
                                     function.suite))
     return 0
@@ -162,7 +181,8 @@ def cmd_measure(args) -> int:
     hotel_suite = _hotel_services(args.db) if function.suite == "hotel" else None
     harness = ExperimentHarness(isa=args.isa, scale=_scale_from(args),
                                 seed=args.seed,
-                                sampling=_sampling_from(args))
+                                sampling=_sampling_from(args),
+                                vector=_vector_from(args))
     measurement = harness.measure_function(
         function, services=_services_for(function, hotel_suite))
     print("%s on simulated %s (%r)" % (function.name, args.isa, harness.config.os_name))
@@ -205,7 +225,7 @@ def cmd_suite(args) -> int:
     spec = MeasurementSpec(
         function=args.suite, isa=args.isa, scale=_scale_from(args),
         seed=args.seed, db=args.db if args.suite == "hotel" else None,
-        sampling=_sampling_from(args))
+        sampling=_sampling_from(args), vector=_vector_from(args))
     measurements = measure(
         spec, jobs=args.jobs, cache=_cache_from(args),
         progress=lambda message: print(message, file=sys.stderr),
@@ -281,7 +301,7 @@ def cmd_trace(args) -> int:
     spec = MeasurementSpec(
         function=function.name, isa=args.isa, scale=_scale_from(args),
         seed=args.seed, db=args.db if function.suite == "hotel" else None,
-        trace=True)
+        trace=True, vector=_vector_from(args))
     measurement = execute_task(spec)
     print("%s on simulated %s (traced, %d requests)" % (
         function.name, args.isa, len(measurement.records)))
@@ -315,7 +335,7 @@ def _trace_report(args) -> int:
                     function.handler, services=services)
     record = platform.invoke(function.name, function.default_payload())
     program = function.invocation_program(record, services, _scale_from(args))
-    assembled = get_isa(args.isa).assemble(program)
+    assembled = get_isa(args.isa, vector=_vector_from(args)).assemble(program)
     print(report(assembled).render())
     issues = validate_assembled(assembled)
     if issues:
@@ -347,7 +367,8 @@ def cmd_chaos(args) -> int:
     spec = MeasurementSpec(
         function=function.name, isa=args.isa, scale=_scale_from(args),
         seed=args.seed, db=args.db if function.suite == "hotel" else None,
-        faults=plan, sampling=_sampling_from(args))
+        faults=plan, sampling=_sampling_from(args),
+        vector=_vector_from(args))
     measurement = execute_task(spec)
     print("%s on simulated %s under chaos (fault seed %d, rate %g)" % (
         function.name, args.isa, args.fault_seed, args.rate))
@@ -388,6 +409,10 @@ def cmd_serve(args) -> int:
         # cycle-accurate pipeline; accept the flag for interface
         # uniformity but say plainly that nothing is sampled.
         print("note: serve runs no detailed simulation; --sampling has "
+              "no effect here", file=sys.stderr)
+    if _vector_from(args) is not None:
+        # Same story for the vector unit: serve never assembles IR.
+        print("note: serve runs no detailed simulation; --vector has "
               "no effect here", file=sys.stderr)
     services: Dict[str, Any] = {}
     if function.suite == "hotel":
@@ -540,6 +565,7 @@ def cmd_bench_smoke(args) -> int:
     """Time the pinned perf-smoke batch; optionally emit JSON."""
     from repro.core.smoke import (
         append_entry,
+        phase_gate_skips,
         phase_regressions,
         render_smoke,
         run_smoke,
@@ -563,8 +589,17 @@ def cmd_bench_smoke(args) -> int:
               % (previous.get("sha") or "(no sha)", change * 100))
         if args.max_regress is not None and change > args.max_regress:
             failed.append(("wall_s", change))
-    for phase, phase_change in sorted(phase_regressions(
-            previous, entry).items()):
+    for phase in phase_gate_skips(previous, entry):
+        print("  %s: new phase, no baseline yet — gated from the next "
+              "entry on" % phase)
+    try:
+        gated = phase_regressions(previous, entry)
+    except ValueError as error:
+        # Fail closed: an ungateable baseline (zero/missing wall, vanished
+        # phase) is a broken trajectory, not a pass.
+        print("FAIL: %s" % error)
+        return 1
+    for phase, phase_change in sorted(gated.items()):
         print("  %s wall-clock: %+.1f%%" % (phase, phase_change * 100))
         if args.max_regress is not None and phase_change > args.max_regress:
             failed.append((phase, phase_change))
@@ -644,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--seed", type=int, default=0)
     _add_scale_arguments(measure)
     _add_sampling_argument(measure)
+    _add_vector_argument(measure)
     measure.set_defaults(func=cmd_measure)
 
     compare = sub.add_parser("compare", help="compare ISAs for one function")
@@ -662,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(suite)
     _add_parallel_arguments(suite)
     _add_sampling_argument(suite)
+    _add_vector_argument(suite)
     suite.set_defaults(func=cmd_suite)
 
     sizes = sub.add_parser("sizes", help="container size table")
@@ -692,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="legacy mode: static instruction-mix report + "
                             "program validation instead of a traced run")
     _add_scale_arguments(trace)
+    _add_vector_argument(trace)
     trace.set_defaults(func=cmd_trace)
 
     chaos = sub.add_parser(
@@ -710,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cold-start stall / RPC latency-spike magnitude")
     _add_scale_arguments(chaos)
     _add_sampling_argument(chaos)
+    _add_vector_argument(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     serve = sub.add_parser(
@@ -753,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", default=None,
                        help="write records/events/samples as JSON")
     _add_sampling_argument(serve)
+    _add_vector_argument(serve)
     serve.set_defaults(func=cmd_serve)
 
     lukewarm = sub.add_parser("lukewarm",

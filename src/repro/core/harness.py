@@ -206,6 +206,7 @@ class ExperimentHarness:
         tracer=None,
         faults=None,
         sampling=None,
+        vector=None,
     ):
         self.isa = isa
         self.scale = scale
@@ -217,6 +218,11 @@ class ExperimentHarness:
         #: work (boot, warming) is unaffected — it is already functional.
         #: ``None`` runs every detailed instruction exactly as before.
         self.sampling = sampling
+        #: Optional :class:`~repro.sim.isa.vector.VectorConfig`.  When
+        #: set, the system's ISA instance carries a vector unit and
+        #: vector IR lowers to vector streams; ``None`` keeps the
+        #: scalar-only lowering (vector IR degrades element-by-element).
+        self.vector = vector
         #: Optional :class:`repro.obs.Tracer`.  Attached to the system
         #: only once measurement starts (after checkpoint restore), so a
         #: fresh-boot run and a cached-checkpoint run trace the same
@@ -237,6 +243,7 @@ class ExperimentHarness:
             num_cores=self.config.num_cores,
             frequency=self.config.frequency,
             seed=seed,
+            vector=vector,
         )
         self._boot_checkpoint: Optional[Checkpoint] = None
         self.setup_notes: List[str] = []
@@ -263,6 +270,7 @@ class ExperimentHarness:
         base_key = (
             self.isa, self.scale.time, self.scale.space, self.seed,
             self.setup_cpu, self.config.fingerprint(),
+            self.vector.fingerprint() if self.vector is not None else None,
         )
         names = tuple(store.name for store in stores)
         full_key = base_key + (tuple(sorted(names)),)

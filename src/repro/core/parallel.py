@@ -33,6 +33,7 @@ from repro.core.config import platform_for
 from repro.core.harness import ExperimentHarness, FunctionMeasurement
 from repro.core.rescache import ResultCache, measurement_digest, resolve_cache
 from repro.core.spec import MeasurementSpec
+from repro.envknobs import env_int
 
 #: Backwards-compatible alias: the matrix point type used to be a
 #: separate dataclass; it is now the unified measurement spec.
@@ -40,12 +41,16 @@ MeasurementTask = MeasurementSpec
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument, else ``REPRO_JOBS``, else all cores."""
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else all cores.
+
+    A malformed ``REPRO_JOBS`` (e.g. ``REPRO_JOBS=many``) warns and falls
+    back to the all-cores default rather than aborting the run.
+    """
     if jobs is not None:
         return max(1, int(jobs))
-    env = os.environ.get("REPRO_JOBS")
+    env = env_int("REPRO_JOBS", 0)
     if env:
-        return max(1, int(env))
+        return max(1, env)
     return os.cpu_count() or 1
 
 
@@ -55,6 +60,7 @@ def task_digest(task: MeasurementSpec) -> str:
     scaling = getattr(task, "scaling", None)
     sampling = getattr(task, "sampling", None)
     cluster = getattr(task, "cluster", None)
+    vector = getattr(task, "vector", None)
     return measurement_digest(
         function=task.function,
         isa=task.isa,
@@ -67,6 +73,7 @@ def task_digest(task: MeasurementSpec) -> str:
         scaling=scaling.fingerprint() if scaling is not None else None,
         sampling=sampling.fingerprint() if sampling is not None else None,
         cluster=cluster.fingerprint() if cluster is not None else None,
+        vector=vector.fingerprint() if vector is not None else None,
     )
 
 
@@ -106,7 +113,8 @@ def execute_task(task: MeasurementSpec) -> FunctionMeasurement:
     harness = ExperimentHarness(isa=task.isa, scale=task.scale,
                                 platform_config=task.platform, seed=task.seed,
                                 tracer=tracer, faults=injector,
-                                sampling=getattr(task, "sampling", None))
+                                sampling=getattr(task, "sampling", None),
+                                vector=getattr(task, "vector", None))
     measurement = harness.measure_function(function, services=services,
                                            requests=task.requests)
     if tracer is not None:

@@ -98,7 +98,8 @@ def measure(
                                         platform_config=spec.platform,
                                         seed=spec.seed, tracer=tracer,
                                         faults=injector,
-                                        sampling=spec.sampling)
+                                        sampling=spec.sampling,
+                                        vector=getattr(spec, "vector", None))
             measurement = harness.measure_function(
                 function, services=services_for(function),
                 requests=spec.requests)

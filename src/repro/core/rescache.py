@@ -70,6 +70,7 @@ def measurement_digest(
     scaling: Any = None,
     sampling: Any = None,
     cluster: Any = None,
+    vector: Any = None,
 ) -> str:
     """Content address of one measurement.
 
@@ -81,10 +82,12 @@ def measurement_digest(
     :meth:`~repro.sim.sampling.SamplingConfig.fingerprint` of a sampled
     run, ``cluster`` the
     :meth:`~repro.serverless.platform.ClusterConfig.fingerprint` of a
-    multi-node serving experiment; each extends the key *only when set*,
-    so every digest minted before the corresponding layer existed stays
-    valid — and a sampled (approximate) or cluster-served result can
-    never alias a full-detail single-host one.
+    multi-node serving experiment, ``vector`` the
+    :meth:`~repro.sim.isa.vector.VectorConfig.fingerprint` of a
+    vector-enabled run; each extends the key *only when set*, so every
+    digest minted before the corresponding layer existed stays valid —
+    and a sampled (approximate), cluster-served or vector-lowered result
+    can never alias a full-detail scalar single-host one.
     """
     from repro import __version__
 
@@ -98,6 +101,8 @@ def measurement_digest(
         key = key + (sampling,)
     if cluster is not None:
         key = key + (cluster,)
+    if vector is not None:
+        key = key + (vector,)
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 

@@ -34,7 +34,10 @@ Every run also times a pinned clustered serve (``cluster_serve``): a
 burst arrival trace through :class:`~repro.serverless.platform.
 ClusterPlatform` at three nodes with spread placement, so the trajectory
 records the cluster scheduling path's wall-clock alongside the
-simulation batches.
+simulation batches.  And a pinned ML-inference batch (``ml_infer``): the
+quantized inference functions measured on RISC-V with the RVV vector
+lane enabled, so the vector lowering and its tier interaction have a
+wall-clock of their own in the trajectory.
 """
 
 from __future__ import annotations
@@ -44,7 +47,7 @@ import subprocess
 import time
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when the smoke workload itself changes, so trajectories are only
 #: compared within a generation.
@@ -116,6 +119,32 @@ def _run_cluster_serve() -> Dict[str, Any]:
     }
 
 
+def _run_ml_infer() -> Dict[str, Any]:
+    """Time the pinned ML-inference batch (the vector lane end to end)."""
+    from repro.core.parallel import execute_task
+    from repro.core.scale import TEST
+    from repro.core.spec import MeasurementSpec
+    from repro.sim.isa.vector import VectorConfig
+    from repro.workloads.mlinfer import ML_FUNCTION_NAMES
+
+    vector = VectorConfig.parse("rvv256")
+    start = time.perf_counter()
+    instructions = 0
+    for name in ML_FUNCTION_NAMES:
+        spec = MeasurementSpec(function=name, isa="riscv", scale=TEST,
+                               seed=0, vector=vector)
+        measurement = execute_task(spec)
+        instructions += (measurement.cold.instructions
+                         + measurement.warm.instructions)
+    wall = time.perf_counter() - start
+    return {
+        "functions": len(ML_FUNCTION_NAMES),
+        "vector": vector.fingerprint(),
+        "simulated_instructions": instructions,
+        "wall_s": round(wall, 3),
+    }
+
+
 def run_smoke(jobs: Optional[int] = None, cache=False,
               sampling: Optional[str] = "accurate",
               legacy: bool = False) -> Dict[str, Any]:
@@ -149,6 +178,7 @@ def run_smoke(jobs: Optional[int] = None, cache=False,
     }
 
     report["cluster_serve"] = _run_cluster_serve()
+    report["ml_infer"] = _run_ml_infer()
 
     config = SamplingConfig.parse(sampling)
     if config is not None:
@@ -314,26 +344,57 @@ def wall_regression(previous: Optional[Dict[str, Any]],
 
 #: Phases whose wall-clocks the CI gate compares alongside the top-level
 #: batch wall: a regression confined to the sampled fast path, the
-#: cluster scheduling path, or compiled replay must fail the gate even
-#: when the full-detail batch happens to absorb it.
-GATED_PHASES = ("sampled", "cluster_serve", "jit")
+#: cluster scheduling path, compiled replay, or the vector lane must
+#: fail the gate even when the full-detail batch happens to absorb it.
+GATED_PHASES = ("sampled", "cluster_serve", "jit", "ml_infer")
 
 
 def phase_regressions(previous: Optional[Dict[str, Any]],
                       entry: Dict[str, Any]) -> Dict[str, float]:
     """Per-phase fractional wall-clock changes vs the previous entry.
 
-    Covers :data:`GATED_PHASES`; phases absent from either entry (or
-    with a zero wall) are skipped, so gating stays well-defined across
-    entries that predate a phase.
+    Covers :data:`GATED_PHASES` and fails *closed*: once the previous
+    entry records a phase, it must stay comparable — a zero or missing
+    baseline wall, or a phase that vanished from (or recorded no wall
+    in) the current run, raises :class:`ValueError` instead of silently
+    passing the gate.  Phases the previous entry never recorded are
+    skipped — a brand-new phase has no baseline on its first append;
+    :func:`phase_gate_skips` reports those so the skip is visible.
     """
     out: Dict[str, float] = {}
     for phase in GATED_PHASES:
-        before = (previous or {}).get(phase) or {}
-        after = entry.get(phase) or {}
-        if before.get("wall_s") and after.get("wall_s"):
-            out[phase] = after["wall_s"] / before["wall_s"] - 1.0
+        before = (previous or {}).get(phase)
+        after = entry.get(phase)
+        if before is None:
+            # The phase postdates the baseline entry: nothing to gate
+            # yet; it enters the gate on the next append.
+            continue
+        if not before.get("wall_s"):
+            raise ValueError(
+                "cannot gate phase %r: baseline wall_s is %r (zero or "
+                "missing) in the previous trajectory entry; re-run "
+                "bench-smoke --append to record a usable baseline"
+                % (phase, before.get("wall_s")))
+        if after is None or not after.get("wall_s"):
+            raise ValueError(
+                "cannot gate phase %r: recorded in the previous entry "
+                "but wall_s is %r in this run — the phase vanished or "
+                "recorded no wall, failing closed"
+                % (phase, (after or {}).get("wall_s")))
+        out[phase] = after["wall_s"] / before["wall_s"] - 1.0
     return out
+
+
+def phase_gate_skips(previous: Optional[Dict[str, Any]],
+                     entry: Dict[str, Any]) -> List[str]:
+    """Gated phases this run recorded but the previous entry did not.
+
+    These have no baseline to compare against (the first ``ml_infer``
+    append is the canonical case); the gate skips them this run, and the
+    CLI prints them so the skip never looks like a silent pass.
+    """
+    return [phase for phase in GATED_PHASES
+            if entry.get(phase) and not (previous or {}).get(phase)]
 
 
 def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
@@ -350,6 +411,11 @@ def render_smoke(report: Dict[str, Any], as_json: bool) -> str:
         lines.append("  cluster serve (%d nodes, %s): %d requests  %8.2fs"
                      % (cluster["nodes"], cluster["placement"],
                         cluster["requests"], cluster["wall_s"]))
+    ml_infer = report.get("ml_infer")
+    if ml_infer:
+        lines.append("  ml infer (%s): %d functions  %8.2fs"
+                     % (ml_infer["vector"], ml_infer["functions"],
+                        ml_infer["wall_s"]))
     sampled = report.get("sampled")
     if sampled:
         lines.append("  sampled (%s): %.2fs" % (

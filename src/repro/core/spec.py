@@ -22,7 +22,8 @@ from typing import Any, Dict, Optional
 from repro.core.scale import BENCH, SimScale
 
 _FIELDS = ("function", "isa", "time", "space", "seed", "db", "requests",
-           "platform", "trace", "faults", "scaling", "sampling", "cluster")
+           "platform", "trace", "faults", "scaling", "sampling", "cluster",
+           "vector")
 
 
 class MeasurementSpec:
@@ -80,6 +81,15 @@ class MeasurementSpec:
         only value measurement entry points produce) keeps identity and
         digests exactly as before, the same contract as ``scaling`` and
         ``sampling``.
+    ``vector``
+        Optional :class:`~repro.sim.isa.vector.VectorConfig`.  When set,
+        the measurement's ISA instance carries a vector unit and vector
+        IR ops lower to stripmined (RVV) or fixed-width (SSE/NEON)
+        vector streams.  Part of spec identity and of the result-cache
+        key, extending both *only when set* — ``None`` (the default)
+        lowers vector IR element-by-element to scalar instructions and
+        keeps every existing digest, stat dump and event log
+        byte-identical, the same contract as ``sampling``/``cluster``.
     """
 
     __slots__ = _FIELDS
@@ -89,7 +99,7 @@ class MeasurementSpec:
                  time: Optional[int] = None, space: Optional[int] = None,
                  seed: int = 0, db: Optional[str] = None, requests: int = 10,
                  platform=None, trace: bool = False, faults=None,
-                 scaling=None, sampling=None, cluster=None):
+                 scaling=None, sampling=None, cluster=None, vector=None):
         if scale is not None and (time is not None or space is not None):
             raise TypeError("pass scale= or time=/space=, not both")
         if scale is None:
@@ -115,6 +125,7 @@ class MeasurementSpec:
         set_field(self, "scaling", scaling)
         set_field(self, "sampling", sampling)
         set_field(self, "cluster", cluster)
+        set_field(self, "vector", vector)
 
     # -- immutability ------------------------------------------------------
 
@@ -158,10 +169,14 @@ class MeasurementSpec:
         cluster = self.cluster
         cluster_fingerprint = (cluster.fingerprint()
                                if cluster is not None else None)
+        vector = self.vector
+        vector_fingerprint = (vector.fingerprint()
+                              if vector is not None else None)
         return (self.function, self.isa, self.time, self.space, self.seed,
                 self.db, self.requests, fingerprint, self.trace,
                 fault_fingerprint, scaling_fingerprint,
-                sampling_fingerprint, cluster_fingerprint)
+                sampling_fingerprint, cluster_fingerprint,
+                vector_fingerprint)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MeasurementSpec):
@@ -192,6 +207,8 @@ class MeasurementSpec:
             parts.append("sampling=%r" % self.sampling)
         if self.cluster is not None:
             parts.append("cluster=%r" % self.cluster)
+        if self.vector is not None:
+            parts.append("vector=%r" % self.vector)
         return "MeasurementSpec(%s)" % ", ".join(parts)
 
     # -- pickling (slots, no __dict__) -------------------------------------

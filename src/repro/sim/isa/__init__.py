@@ -37,6 +37,7 @@ from repro.sim.isa.ir import (
 from repro.sim.isa.arm import ArmISA
 from repro.sim.isa.riscv import RiscvISA
 from repro.sim.isa.trace import AssembledProgram, TraceGenerator
+from repro.sim.isa.vector import VectorConfig
 from repro.sim.isa.x86 import X86ISA
 
 #: Registry of the ISAs the infrastructure was ported to.
@@ -47,14 +48,22 @@ ISA_REGISTRY = {
 }
 
 
-def get_isa(name: str) -> ISA:
-    """Instantiate an ISA model by name (``"riscv"`` or ``"x86"``)."""
+def get_isa(name: str, vector=None) -> ISA:
+    """Instantiate an ISA model by name (``"riscv"`` or ``"x86"``).
+
+    ``vector`` optionally attaches a :class:`VectorConfig` to the
+    instance; with the default None the model is scalar-only and vector
+    IR ops lower element-by-element to scalar instructions.
+    """
     try:
-        return ISA_REGISTRY[name]()
+        isa = ISA_REGISTRY[name]()
     except KeyError:
         raise ValueError(
             "unknown ISA %r; supported: %s" % (name, sorted(ISA_REGISTRY))
         ) from None
+    if vector is not None:
+        isa.vector = vector
+    return isa
 
 
 __all__ = [
@@ -78,6 +87,7 @@ __all__ = [
     "StaticInstr",
     "StridePattern",
     "TraceGenerator",
+    "VectorConfig",
     "X86ISA",
     "get_isa",
 ]

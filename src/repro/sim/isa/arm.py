@@ -32,6 +32,9 @@ class ArmISA(ISA):
     #: svc plus the arm64 Linux entry path.
     syscall_overhead_instrs = 8
 
+    #: NEON fixed 128-bit vectors (no SVE in the modelled stack).
+    vector_style = "neon"
+
     expansion = {
         (ir.OP_IALU, BLOCK_APP): 0.95,   # flexible second operand / fused shifts
         (ir.OP_LOAD, BLOCK_APP): 0.95,   # load-pair on adjacent accesses

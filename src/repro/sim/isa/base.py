@@ -339,18 +339,42 @@ class ISA:
     * :attr:`stack_multiplier` — extra dynamic path length on runtime,
       library and OS code relative to the RISC-V baseline (the thesis's
       headline instruction-count finding, §4.2.3.1),
-    * :attr:`syscall_overhead_instrs` — trap entry/exit sequence length.
+    * :attr:`syscall_overhead_instrs` — trap entry/exit sequence length,
+    * :attr:`vector_style` — how vector IR lowers when a
+      :class:`~repro.sim.isa.vector.VectorConfig` is attached
+      (``"rvv"`` stripmines by VLEN with per-strip ``vsetvli`` CSRs;
+      ``"sse"``/``"neon"`` emit fixed 128-bit groups, no CSRs).
     """
 
     name = "abstract"
     stack_multiplier = 1.0
     syscall_overhead_instrs = 6
+    #: Attached vector unit, or None (scalar-only).  Set per *instance*
+    #: by :func:`repro.sim.isa.get_isa`; with None every vector IR op
+    #: degrades to its scalar equivalent, byte-identical to a scalar
+    #: program — the class default keeps all pre-vector behaviour.
+    vector = None
+    #: Vector lowering family; ``"none"`` behaves as scalar fallback
+    #: even when a config is attached.
+    vector_style = "none"
     #: (op_kind, block_kind) -> instructions per IR op unit.  Missing keys
     #: default to 1.0.
     expansion: Dict[Tuple[str, str], float] = {}
 
     def instr_size(self, rng: random.Random) -> int:
         raise NotImplementedError
+
+    def vector_width_bits(self) -> int:
+        """Effective vector register width for this ISA instance.
+
+        RVV is length-agnostic, so the configured VLEN applies; the
+        fixed-width styles always lower at 128 bits regardless of the
+        configured VLEN — the same IR therefore stripmines differently
+        per ISA, which is the point of the comparison.
+        """
+        if self.vector is not None and self.vector_style == "rvv":
+            return self.vector.vlen
+        return 128
 
     def instr_sizes(self, rng: random.Random, count: int) -> List[int]:
         """``count`` sizes from the layout stream in one call.
@@ -421,6 +445,16 @@ class ISA:
         segments: List[object] = []
         chain = 0
         for op in block.ops:
+            if op.kind in ir.VECTOR_OPS:
+                if self.vector is None or self.vector_style == "none":
+                    # No vector unit: degrade to the scalar-equivalent
+                    # op and fall through to the ordinary lowering —
+                    # same emit sequence, same layout-rng draws, so the
+                    # result is byte-identical to a scalar program.
+                    op = ir.scalar_equivalent(op)
+                else:
+                    chain = self._emit_vector(op, block, chain, ctx, instrs)
+                    continue
             scaled = op.count * self.expansion_for(op.kind, block.kind)
             count = max(1, int(round(scaled)))
             if op.unrolled:
@@ -505,6 +539,79 @@ class ISA:
         if instrs:
             segments.append(instrs)
         return AssembledBlock(None, block.kind, tuple(segments))
+
+    def _emit_vector(
+        self,
+        op: ir.IROp,
+        block: ir.Block,
+        chain: int,
+        ctx: "_AsmContext",
+        instrs: List[StaticInstr],
+    ) -> int:
+        """Lower one vector IR op for an attached vector unit.
+
+        ``op.count`` elements become ``ceil(count / elements_per_instr)``
+        micro-looped vector instructions (strips) at this ISA's vector
+        width.  The ``"rvv"`` style prefixes the strips with an equal
+        run of CSR instructions (per-strip ``vsetvli`` re-configuration,
+        RVV's stripmining idiom); fixed-width styles emit none — so RVV
+        and SSE streams differ in both instruction count and class mix
+        for identical IR.  Strips rotate across the configured lanes,
+        which the O3 model exploits exactly like scalar chain rotation.
+        The lowered instructions are ordinary repeat-form
+        :class:`StaticInstr`, so the predecode and blockjit tiers replay
+        them with no vector-specific handling.
+        """
+        from repro.sim.isa.vector import elements_per_instr
+
+        epi = elements_per_instr(self.vector_width_bits(), op.ewidth)
+        strips = (op.count + epi - 1) // epi
+        lanes = self.vector.lanes
+        fp = op.kind == ir.OP_VFMA
+        rotate = tuple(
+            ctx.chain_reg(chain + lane, fp=fp) for lane in range(lanes)
+        ) if strips > 1 and lanes > 1 else ()
+        if self.vector_style == "rvv":
+            instrs.append(
+                ctx.emit(InstrClass.CSR, srcs=(ZERO_REG,), dst=-1,
+                         repeat=strips))
+        reg = ctx.chain_reg(chain % max(1, lanes), fp=fp)
+        if op.kind == ir.OP_VLOAD:
+            instrs.append(
+                ctx.emit(InstrClass.LOAD, srcs=(ADDR_REG,), dst=reg,
+                         repeat=strips, region=op.region,
+                         pattern=self._vector_pattern(op.pattern, epi),
+                         rotate=rotate))
+            chain += 1
+        elif op.kind == ir.OP_VSTORE:
+            instrs.append(
+                ctx.emit(InstrClass.STORE, srcs=(reg, ADDR_REG), dst=-1,
+                         repeat=strips, region=op.region,
+                         pattern=self._vector_pattern(op.pattern, epi),
+                         rotate=rotate))
+        else:
+            icls = InstrClass.FMUL if fp else InstrClass.IALU
+            instrs.append(
+                ctx.emit(icls, srcs=(reg, ZERO_REG), dst=reg,
+                         repeat=strips, rotate=rotate))
+            chain += 1
+        return chain
+
+    @staticmethod
+    def _vector_pattern(
+        pattern: Optional[ir.AddressPattern], epi: int
+    ) -> Optional[ir.AddressPattern]:
+        """Per-strip address pattern: one access covers ``epi`` elements.
+
+        A unit-element stride widens to ``stride * epi`` so consecutive
+        strips touch consecutive vector-register-sized chunks; gather
+        patterns (random / hot-cold) are left alone — each strip's base
+        is one gathered index, the model's take on indexed loads.
+        """
+        if isinstance(pattern, ir.StridePattern):
+            return ir.StridePattern(stride=pattern.stride * epi,
+                                    start=pattern.start)
+        return pattern
 
     def _emit_unrolled(
         self,

@@ -42,6 +42,7 @@ import os
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.envknobs import env_int
 from repro.sim.isa import predecode
 from repro.sim.isa.base import (
     AssembledBlock,
@@ -58,12 +59,14 @@ _ENABLED = os.environ.get("REPRO_JIT", "1").lower() not in (
 )
 
 #: Executions of a node before it is promoted to compiled form.
-_THRESHOLD = max(1, int(os.environ.get("REPRO_JIT_THRESHOLD", "2")))
+#: Malformed values fall back to the default with a warning — this runs
+#: at import time, where an unhandled ValueError would be fatal.
+_THRESHOLD = max(1, env_int("REPRO_JIT_THRESHOLD", 2))
 
 #: Upper bound on generated statements per compiled unit.  Mega blocks
 #: (straight-line boot code) stay interpreted: their compile time scales
 #: with size while their replay time is dominated by memory-model calls.
-_MAX_STMTS = max(16, int(os.environ.get("REPRO_JIT_MAX_STMTS", "3072")))
+_MAX_STMTS = max(16, env_int("REPRO_JIT_MAX_STMTS", 3072))
 
 #: Runs at or below this length are fully unrolled into literals.
 _UNROLL = 4

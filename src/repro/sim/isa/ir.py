@@ -208,8 +208,33 @@ OP_STORE = "store"
 OP_BRANCH = "branch"
 OP_SYSCALL = "syscall"
 
+#: Vector op kinds.  Each carries an element width (``ewidth``, bytes per
+#: element) alongside ``count`` (total *elements*, not instructions); the
+#: per-ISA lowering decides how many vector instructions that becomes
+#: (stripmined by VLEN on RVV, fixed 128-bit groups on SSE/NEON).  With
+#: no vector unit configured they degrade to their scalar equivalent
+#: (:data:`VECTOR_SCALAR_KIND`) — one scalar instruction per element.
+OP_VLOAD = "vload"
+OP_VSTORE = "vstore"
+OP_VALU = "valu"
+OP_VFMA = "vfma"
+
 COMPUTE_OPS = (OP_IALU, OP_IMUL, OP_IDIV, OP_FALU, OP_FMUL, OP_FDIV)
 MEMORY_OPS = (OP_LOAD, OP_STORE)
+VECTOR_OPS = (OP_VLOAD, OP_VSTORE, OP_VALU, OP_VFMA)
+VECTOR_MEMORY_OPS = (OP_VLOAD, OP_VSTORE)
+
+#: Scalar fallback kind per vector op: what the op lowers to, element by
+#: element, on an ISA with no vector unit configured.
+VECTOR_SCALAR_KIND = {
+    OP_VLOAD: OP_LOAD,
+    OP_VSTORE: OP_STORE,
+    OP_VALU: OP_IALU,
+    OP_VFMA: OP_FMUL,
+}
+
+#: Element widths a vector op may carry (bytes): int8 through fp64.
+VECTOR_EWIDTHS = (1, 2, 4, 8)
 
 
 class IROp:
@@ -220,9 +245,14 @@ class IROp:
     Straight-line initialisation code (interpreter start-up, module
     imports) uses this so its instruction-cache footprint is honest — that
     footprint is what makes cold starts cold.
+
+    Vector ops (:data:`VECTOR_OPS`) additionally carry ``ewidth`` — bytes
+    per element — and interpret ``count`` as total elements.  They are
+    never ``unrolled`` (a vector instruction *is* the fold).
     """
 
-    __slots__ = ("kind", "count", "region", "pattern", "taken_probability", "unrolled")
+    __slots__ = ("kind", "count", "region", "pattern", "taken_probability",
+                 "unrolled", "ewidth")
 
     def __init__(
         self,
@@ -232,21 +262,52 @@ class IROp:
         pattern: Optional[AddressPattern] = None,
         taken_probability: float = 0.5,
         unrolled: bool = False,
+        ewidth: int = 4,
     ):
         if count <= 0:
             raise ValueError("op count must be positive, got %d" % count)
         if kind in MEMORY_OPS and region is None:
             raise ValueError("%s op requires a region" % kind)
+        if kind in VECTOR_OPS:
+            if kind in VECTOR_MEMORY_OPS and region is None:
+                raise ValueError("%s op requires a region" % kind)
+            if ewidth not in VECTOR_EWIDTHS:
+                raise ValueError("vector ewidth must be one of %s, got %r"
+                                 % (list(VECTOR_EWIDTHS), ewidth))
+            if unrolled:
+                raise ValueError("vector ops cannot be unrolled")
         self.kind = kind
         self.count = count
         self.region = region
         self.pattern = pattern if pattern is not None else StridePattern(stride=8)
         self.taken_probability = taken_probability
         self.unrolled = unrolled
+        self.ewidth = ewidth
 
     def __repr__(self) -> str:
         target = " %s" % self.region.name if self.region else ""
         return "IROp(%s x%d%s)" % (self.kind, self.count, target)
+
+
+def scalar_equivalent(op: IROp) -> IROp:
+    """The scalar IROp a vector op degrades to without a vector unit.
+
+    One scalar instruction per element, same region/pattern/count, kind
+    mapped via :data:`VECTOR_SCALAR_KIND` — so a program holding vector
+    ops assembles *byte-identically* to the same program written with
+    scalar ops when the ISA has no :class:`~repro.sim.isa.vector.
+    VectorConfig` attached.  That identity is what keeps every existing
+    digest, stat dump and event log unchanged with the vector lane off.
+    """
+    if op.kind not in VECTOR_OPS:
+        raise ValueError("not a vector op: %r" % op.kind)
+    return IROp(
+        VECTOR_SCALAR_KIND[op.kind],
+        count=op.count,
+        region=op.region,
+        pattern=op.pattern,
+        taken_probability=op.taken_probability,
+    )
 
 
 class Block:
@@ -436,8 +497,13 @@ def _node_fingerprint(node: StructureNode):
                 return None
             region = (op.region.name, op.region.base, op.region.size) \
                 if op.region is not None else None
-            ops.append((op.kind, op.count, region, pattern,
-                        op.taken_probability, op.unrolled))
+            entry = (op.kind, op.count, region, pattern,
+                     op.taken_probability, op.unrolled)
+            if op.kind in VECTOR_OPS:
+                # Appended only for vector ops, so fingerprints of
+                # pre-existing scalar programs stay byte-identical.
+                entry += (op.ewidth,)
+            ops.append(entry)
         return ("b", node.kind, node.ilp, tuple(ops))
     if isinstance(node, Seq):
         items = []
@@ -524,6 +590,48 @@ def straightline_block(
     else:
         ops[0] = IROp(OP_IALU, count=alus + loads + stores, unrolled=True)
     ops.append(IROp(OP_BRANCH, count=branches, taken_probability=0.6, unrolled=True))
+    return Block(ops, kind=kind, ilp=ilp)
+
+
+def vector_block(
+    elements: int,
+    ewidth: int = 4,
+    load_region: Optional[Region] = None,
+    store_region: Optional[Region] = None,
+    fma_per_element: float = 0.0,
+    alu_per_element: float = 0.0,
+    gather: bool = False,
+    kind: str = "app",
+    ilp: int = 2,
+) -> Block:
+    """A vectorizable inner loop over ``elements`` elements.
+
+    Streams ``load_region`` in element order (or gathers from it when
+    ``gather=True`` — embedding-table lookups), performs the given
+    per-element FMA/ALU work, and streams results to ``store_region``.
+    How many *instructions* this becomes is the ISA's call: stripmined
+    by VLEN on RVV, fixed 128-bit groups on SSE/NEON, one per element
+    on a scalar ISA.
+    """
+    if elements <= 0:
+        raise ValueError("elements must be positive")
+    ops: List[IROp] = []
+    if load_region is not None:
+        pattern: AddressPattern = (RandomPattern(align=max(8, ewidth))
+                                   if gather else StridePattern(stride=ewidth))
+        ops.append(IROp(OP_VLOAD, count=elements, region=load_region,
+                        pattern=pattern, ewidth=ewidth))
+    if fma_per_element:
+        ops.append(IROp(OP_VFMA, count=max(1, int(round(elements * fma_per_element))),
+                        ewidth=ewidth))
+    if alu_per_element:
+        ops.append(IROp(OP_VALU, count=max(1, int(round(elements * alu_per_element))),
+                        ewidth=ewidth))
+    if store_region is not None:
+        ops.append(IROp(OP_VSTORE, count=elements, region=store_region,
+                        pattern=StridePattern(stride=ewidth), ewidth=ewidth))
+    if not ops:
+        raise ValueError("vector_block needs a region or per-element work")
     return Block(ops, kind=kind, ilp=ilp)
 
 

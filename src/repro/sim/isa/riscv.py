@@ -33,6 +33,10 @@ class RiscvISA(ISA):
     #: ecall + minimal trap entry/exit on the OpenSBI/Linux path.
     syscall_overhead_instrs = 6
 
+    #: RVV: scalable vectors stripmined by the configured VLEN, with a
+    #: per-strip ``vsetvli`` re-configuration lowered as a CSR instr.
+    vector_style = "rvv"
+
     expansion = {
         # One instruction per IR op unit nearly everywhere.
         (ir.OP_IALU, BLOCK_APP): 1.0,

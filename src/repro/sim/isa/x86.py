@@ -37,6 +37,11 @@ class X86ISA(ISA):
     #: (swapgs, stack switch, mitigation sequences).
     syscall_overhead_instrs = 14
 
+    #: SSE-like fixed 128-bit vectors: no length configuration, no
+    #: stripmining CSRs — the same vector IR lowers to a different
+    #: stream than RVV, mirroring the thesis's scalar-stream contrast.
+    vector_style = "sse"
+
     expansion = {
         # Memory-operand folding makes handler compute denser.
         (ir.OP_IALU, BLOCK_APP): 0.82,

@@ -9,9 +9,39 @@ runs the region of interest, and dumps a flat ``name -> value`` mapping.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 Number = Union[int, float]
+
+
+def percentile(values: Sequence[float], fraction: float,
+               method: str = "linear") -> float:
+    """Percentile of ``values`` (fraction in [0, 1]).
+
+    The one percentile implementation in the tree: serving-layer p50/p95/
+    p99 (``repro.serverless.metrics``) and sim-side statistics both call
+    this, so the two sides cannot silently disagree on interpolation.
+
+    ``method="linear"`` interpolates between the two closest ranks, the
+    same convention as numpy's default, so p50 of ``[1, 2, 3, 4]`` is 2.5
+    rather than an arbitrary neighbour.  ``method="nearest"`` keeps the
+    old nearest-rank behaviour (always returns an observed sample).
+    """
+    if not values:
+        raise ValueError("no samples")
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    position = fraction * (len(ordered) - 1)
+    if method == "nearest":
+        rank = max(0, min(len(ordered) - 1, int(round(position))))
+        return ordered[rank]
+    if method != "linear":
+        raise ValueError("unknown percentile method %r" % method)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * weight
 
 
 class Stat:

@@ -45,13 +45,14 @@ class SimulatedSystem:
         num_cores: int = 2,
         frequency: Optional[Frequency] = None,
         seed: int = 0,
+        vector=None,
     ):
         if num_cores < 1:
             raise ValueError("need at least one core")
         from repro.sim.isa import get_isa  # local import avoids a cycle
 
         self.name = name
-        self.isa = get_isa(isa_name)
+        self.isa = get_isa(isa_name, vector=vector)
         self.mem_config = mem_config or MemoryHierarchyConfig()
         self.o3_config = o3_config or O3Config()
         self.num_cores = num_cores
@@ -155,7 +156,10 @@ class SimulatedSystem:
             return cached[1]
         fingerprint = program.fingerprint()
         if fingerprint is not None:
-            shared_key = (self.isa.name, fingerprint)
+            vector = self.isa.vector
+            shared_key = (self.isa.name,
+                          vector.fingerprint() if vector is not None else None,
+                          fingerprint)
             assembled = _SHARED_ASSEMBLED.get(shared_key)
             if assembled is None:
                 assembled = self.isa.assemble(program)

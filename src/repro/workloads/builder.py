@@ -247,6 +247,48 @@ class WorkBuilder:
             ops.append(ir.IROp(ir.OP_STORE, count=store_count, region=region, pattern=pattern))
         self._emit(ir.Block(ops, kind="app", ilp=4))
 
+    def vector_kernel(
+        self,
+        elements: float,
+        ewidth: int = 4,
+        load_region: Union[str, ir.Region, None] = None,
+        store_region: Union[str, ir.Region, None] = None,
+        fma_per_element: float = 0.0,
+        alu_per_element: float = 0.0,
+        gather: bool = False,
+        region_bytes: Optional[int] = None,
+        scaled: bool = True,
+    ) -> None:
+        """A data-parallel kernel over ``elements`` elements of ``ewidth`` bytes.
+
+        Emits vector IR (``vload``/``vfma``/``valu``/``vstore``): on a
+        vector-enabled ISA it lowers to stripmined (RVV) or fixed-width
+        (SSE/NEON) vector streams, on a scalar ISA element by element.
+        ``gather=True`` makes the loads indexed (embedding-table
+        lookups) instead of unit-stride.  Kernels are native work —
+        BLAS-style C loops reached through a thin binding — so no
+        interpreter dispatch cost is charged around them.
+        """
+        count = self._count(elements, scaled)
+
+        def resolve(region):
+            if isinstance(region, str):
+                if region_bytes is None and region not in self._regions:
+                    raise ValueError(
+                        "region %r not allocated; pass region_bytes" % region)
+                return self.region(region, region_bytes or 0)
+            return region
+
+        self._emit(ir.vector_block(
+            count,
+            ewidth=ewidth,
+            load_region=resolve(load_region),
+            store_region=resolve(store_region),
+            fma_per_element=fma_per_element,
+            alu_per_element=alu_per_element,
+            gather=gather,
+        ))
+
     def branches(self, count: float, predictability: float = 0.9,
                  scaled: bool = True) -> None:
         """Data-dependent branches (mispredict fodder)."""

@@ -13,6 +13,7 @@ from typing import Dict, List
 from repro.workloads.extras import make_extras
 from repro.workloads.function import VSwarmFunction
 from repro.workloads.hotel import make_hotel_functions
+from repro.workloads.mlinfer import make_ml_functions
 from repro.workloads.onlineshop import make_onlineshop
 from repro.workloads.standalone import make_standalone
 
@@ -30,6 +31,9 @@ ONLINESHOP_FUNCTIONS: List[VSwarmFunction] = make_onlineshop()
 HOTEL_FUNCTIONS: List[VSwarmFunction] = make_hotel_functions()
 #: Extension workloads beyond the thesis's ported set (its §6 plan).
 EXTRA_FUNCTIONS: List[VSwarmFunction] = make_extras()
+#: Quantized ML-inference family (vector-unit benchmarks); addressable by
+#: name only — not part of the thesis's default measurement batches.
+ML_FUNCTIONS: List[VSwarmFunction] = make_ml_functions()
 
 
 def all_functions(include_extras: bool = False) -> List[VSwarmFunction]:
@@ -41,7 +45,7 @@ def all_functions(include_extras: bool = False) -> List[VSwarmFunction]:
 
 
 _BY_NAME: Dict[str, VSwarmFunction] = {
-    fn.name: fn for fn in all_functions(include_extras=True)
+    fn.name: fn for fn in all_functions(include_extras=True) + ML_FUNCTIONS
 }
 
 

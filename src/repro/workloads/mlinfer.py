@@ -1,0 +1,220 @@
+"""Quantized ML-inference workloads: the vector-unit benchmark family.
+
+vSwarm's ML-serving benchmarks (fibonacci-class functions dominate the
+thesis's ported set) are exactly the workloads where RISC-V's vector
+extension should matter: dense linear algebra over int8/fp32 tensors.
+This family models four inference kernels behind the usual Python
+serving runtime:
+
+* **matmul-int8** — a quantized (int8 × int8 → int32, requantized)
+  GEMM tile, the core of every quantized transformer/MLP layer;
+* **matmul-fp32** — the same GEMM in fp32;
+* **conv2d-python** — a quantized 3×3 convolution over a feature map;
+* **embedding-lookup-python** — an embedding-bag gather-and-reduce, the
+  sparse front end of recommendation models.
+
+Each handler really computes its kernel on a small deterministic tile
+(seeded inputs, checksummed outputs); the work model then charges the
+*full layer* the tile stands for, emitted as vector IR
+(:func:`repro.sim.isa.ir.vector_block` via
+:meth:`~repro.workloads.builder.WorkBuilder.vector_kernel`).  On a
+vector-enabled ISA the kernels lower to stripmined RVV or fixed-width
+SSE/NEON streams; without a vector unit they lower element-by-element to
+scalar instructions — same IR, two machine-level stories, which is the
+comparison the family exists to measure.
+
+The family registers in the catalog by name only (``suite = "ml"``); it
+is not part of the thesis's default measurement batches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.workloads.function import VSwarmFunction
+
+#: The handler computes one tile; the modelled layer is this many tiles.
+#: Keeps the functional side fast while the simulated kernel stays at
+#: native magnitude (so scaled runs still see real strip counts).
+TILE_TO_LAYER = 64
+
+#: GEMM tile edge (M = K = N) and conv feature-map geometry.
+GEMM_DIM = 24
+CONV_SIZE = 24
+CONV_KERNEL = 3
+#: Embedding table geometry: vocabulary rows × feature dim, bag size.
+EMBED_VOCAB = 512
+EMBED_DIM = 32
+EMBED_BAG = 16
+
+
+def _seeded_matrix(rows: int, cols: int, seed: int, lo: int, hi: int) -> List[List[int]]:
+    rng = random.Random(seed)
+    return [[rng.randrange(lo, hi) for _c in range(cols)] for _r in range(rows)]
+
+
+class MatmulFunction(VSwarmFunction):
+    """Python: one GEMM tile, int8-quantized or fp32."""
+
+    suite = "ml"
+    app_layer_mb = {"x86": 46.2, "riscv": 46.8}
+    image_variant = "grpc-prebuilt"
+    #: tensor-library import set (BLAS binding, operator registry)
+    init_factor = 1.6
+
+    def __init__(self, dtype: str):
+        if dtype not in ("int8", "fp32"):
+            raise ValueError("dtype must be int8 or fp32, got %r" % dtype)
+        super().__init__("matmul-%s" % dtype, "python")
+        self.dtype = dtype
+        self.ewidth = 1 if dtype == "int8" else 4
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        return {"dim": GEMM_DIM, "seed": sequence}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        dim = int(payload.get("dim", GEMM_DIM))
+        seed = int(payload.get("seed", 0))
+        if self.dtype == "int8":
+            a = _seeded_matrix(dim, dim, seed * 2 + 1, -128, 128)
+            b = _seeded_matrix(dim, dim, seed * 2 + 2, -128, 128)
+            # int8 × int8 accumulates in int32, then requantizes by a
+            # power-of-two shift back into int8 range.
+            out = [
+                [max(-128, min(127, sum(a[i][k] * b[k][j] for k in range(dim)) >> 7))
+                 for j in range(dim)]
+                for i in range(dim)
+            ]
+            checksum = sum(sum(row) for row in out)
+        else:
+            a = _seeded_matrix(dim, dim, seed * 2 + 1, -8, 9)
+            b = _seeded_matrix(dim, dim, seed * 2 + 2, -8, 9)
+            out = [
+                [sum(a[i][k] / 8.0 * (b[k][j] / 8.0) for k in range(dim))
+                 for j in range(dim)]
+                for i in range(dim)
+            ]
+            checksum = round(sum(sum(row) for row in out), 3)
+        ctx.meter("macs", dim * dim * dim)
+        ctx.meter("out_elements", dim * dim)
+        return {"dim": dim, "dtype": self.dtype, "checksum": checksum}
+
+    def build_work(self, builder, record, services) -> None:
+        macs = int(record.metrics.get("macs", GEMM_DIM ** 3)) * TILE_TO_LAYER
+        outs = int(record.metrics.get("out_elements", GEMM_DIM ** 2)) * TILE_TO_LAYER
+        ew = self.ewidth
+        weights = builder.region("gemm.weights", macs // GEMM_DIM * ew)
+        acts = builder.region("gemm.acts", max(4096, outs * ew))
+        # Weight-stationary inner loop: stream weights, FMA per element.
+        builder.vector_kernel(macs, ewidth=ew, load_region=weights,
+                              fma_per_element=1.0)
+        # Requantize/accumulate and stream out the result tile.
+        builder.vector_kernel(outs, ewidth=ew, store_region=acts,
+                              alu_per_element=1.0)
+        # Scalar loop bookkeeping + tile scheduling around the kernel.
+        builder.compute(ialu=macs * 0.05, native=True, ilp=4)
+
+
+class Conv2dFunction(VSwarmFunction):
+    """Python: quantized 3×3 convolution over a feature map."""
+
+    suite = "ml"
+    app_layer_mb = {"x86": 46.2, "riscv": 46.8}
+    image_variant = "grpc-prebuilt"
+    init_factor = 1.6
+
+    def __init__(self):
+        super().__init__("conv2d-python", "python")
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        return {"size": CONV_SIZE, "seed": sequence}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        size = int(payload.get("size", CONV_SIZE))
+        seed = int(payload.get("seed", 0))
+        image = _seeded_matrix(size, size, seed + 101, -128, 128)
+        kernel = _seeded_matrix(CONV_KERNEL, CONV_KERNEL, seed + 202, -8, 9)
+        edge = CONV_KERNEL // 2
+        out_size = size - 2 * edge
+        out = [
+            [max(-128, min(127, sum(
+                image[y + dy][x + dx] * kernel[dy][dx]
+                for dy in range(CONV_KERNEL) for dx in range(CONV_KERNEL)
+            ) >> 6))
+             for x in range(out_size)]
+            for y in range(out_size)
+        ]
+        ctx.meter("macs", out_size * out_size * CONV_KERNEL * CONV_KERNEL)
+        ctx.meter("out_elements", out_size * out_size)
+        return {"size": out_size, "checksum": sum(sum(row) for row in out)}
+
+    def build_work(self, builder, record, services) -> None:
+        default_macs = (CONV_SIZE - 2) ** 2 * CONV_KERNEL ** 2
+        macs = int(record.metrics.get("macs", default_macs)) * TILE_TO_LAYER
+        outs = int(record.metrics.get("out_elements",
+                                      (CONV_SIZE - 2) ** 2)) * TILE_TO_LAYER
+        fmap = builder.region("conv.fmap", max(4096, outs))
+        # im2col-style inner loop: unit-stride int8 streams with one FMA
+        # per element, then the requantized output stream.
+        builder.vector_kernel(macs, ewidth=1, load_region=fmap,
+                              fma_per_element=1.0)
+        builder.vector_kernel(outs, ewidth=1, store_region=fmap,
+                              alu_per_element=1.0)
+        builder.compute(ialu=macs * 0.08, native=True, ilp=4)
+        # Halo/boundary handling branches per output row.
+        builder.branches(outs * 0.05, predictability=0.95)
+
+
+class EmbeddingLookupFunction(VSwarmFunction):
+    """Python: embedding-bag lookup — gather rows, reduce to one vector."""
+
+    suite = "ml"
+    app_layer_mb = {"x86": 46.2, "riscv": 46.8}
+    image_variant = "grpc-prebuilt"
+    #: the embedding table itself loads on import
+    init_factor = 1.8
+
+    def __init__(self):
+        super().__init__("embedding-lookup-python", "python")
+        self._table = _seeded_matrix(EMBED_VOCAB, EMBED_DIM, 7, -64, 65)
+
+    def default_payload(self, sequence: int = 0) -> Dict[str, Any]:
+        rng = random.Random(sequence + 31)
+        return {"indices": [rng.randrange(EMBED_VOCAB) for _ in range(EMBED_BAG)]}
+
+    def handler(self, payload: Dict[str, Any], ctx) -> Any:
+        indices = payload.get("indices") or [0]
+        bag = [0] * EMBED_DIM
+        for index in indices:
+            row = self._table[int(index) % EMBED_VOCAB]
+            for dim in range(EMBED_DIM):
+                bag[dim] += row[dim]
+        ctx.meter("gathered", len(indices) * EMBED_DIM)
+        return {"dim": EMBED_DIM, "checksum": sum(bag)}
+
+    def build_work(self, builder, record, services) -> None:
+        gathered = int(record.metrics.get("gathered",
+                                          EMBED_BAG * EMBED_DIM)) * TILE_TO_LAYER
+        table = builder.region("embed.table", EMBED_VOCAB * EMBED_DIM * 4)
+        # Indexed gather over the table, fp32 accumulate into the bag.
+        builder.vector_kernel(gathered, ewidth=4, load_region=table,
+                              alu_per_element=1.0, gather=True)
+        # Index decode + bounds checks per gathered row.
+        builder.compute(ialu=gathered * 0.1, native=True, ilp=2)
+
+
+def make_ml_functions() -> List[VSwarmFunction]:
+    """The ML-inference workload family."""
+    return [
+        MatmulFunction("int8"),
+        MatmulFunction("fp32"),
+        Conv2dFunction(),
+        EmbeddingLookupFunction(),
+    ]
+
+
+ML_FUNCTIONS: List[VSwarmFunction] = make_ml_functions()
+
+#: Catalog names, in family order (bench-smoke's ml_infer phase runs these).
+ML_FUNCTION_NAMES = tuple(fn.name for fn in ML_FUNCTIONS)

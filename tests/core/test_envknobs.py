@@ -1,0 +1,72 @@
+"""Environment-knob hardening: malformed integer knobs must warn and fall
+back to their defaults instead of crashing — including at import time for
+the block-JIT thresholds."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.parallel import resolve_jobs
+from repro.envknobs import env_int
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_int("REPRO_TEST_KNOB", 42) == 42
+
+    def test_empty_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "")
+        assert env_int("REPRO_TEST_KNOB", 42) == 42
+
+    def test_valid_value_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "7")
+        assert env_int("REPRO_TEST_KNOB", 42) == 7
+
+    def test_garbage_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "many")
+        with pytest.warns(UserWarning, match="REPRO_TEST_KNOB"):
+            assert env_int("REPRO_TEST_KNOB", 42) == 42
+
+
+class TestResolveJobsFallback:
+    def test_bad_repro_jobs_warns_and_uses_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.warns(UserWarning, match="REPRO_JOBS"):
+            assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_explicit_argument_bypasses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert resolve_jobs(3) == 3
+
+
+class TestBlockjitImportTime:
+    """The JIT thresholds are read at import time; a malformed value used
+    to raise ValueError before any measurement could run."""
+
+    def _import_blockjit(self, env):
+        merged = dict(os.environ, **env)
+        return subprocess.run(
+            [sys.executable, "-c",
+             "import warnings; warnings.simplefilter('ignore'); "
+             "from repro.sim.isa import blockjit; "
+             "print(blockjit._THRESHOLD, blockjit._MAX_STMTS)"],
+            capture_output=True, text=True, env=merged,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))))
+
+    def test_bad_threshold_survives_import(self):
+        result = self._import_blockjit({"REPRO_JIT_THRESHOLD": "yes",
+                                        "PYTHONPATH": "src"})
+        assert result.returncode == 0, result.stderr
+        threshold, max_stmts = result.stdout.split()
+        assert int(threshold) == 2  # the documented default
+
+    def test_bad_max_stmts_survives_import(self):
+        result = self._import_blockjit({"REPRO_JIT_MAX_STMTS": "unbounded",
+                                        "PYTHONPATH": "src"})
+        assert result.returncode == 0, result.stderr
+        threshold, max_stmts = result.stdout.split()
+        assert int(max_stmts) == 3072  # the documented default

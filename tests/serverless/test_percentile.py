@@ -1,0 +1,45 @@
+"""Regression pin: the serving layer and the sim statistics share ONE
+percentile implementation.  The tree briefly carried two copies that
+could drift apart on interpolation convention; these tests pin both the
+object identity and the numeric behaviour."""
+
+import random
+
+import pytest
+
+from repro.serverless import metrics as serving_metrics
+from repro.sim import statistics as sim_statistics
+
+
+class TestSharedImplementation:
+    def test_same_object(self):
+        """Not merely equal behaviour: literally the same function."""
+        assert serving_metrics.percentile is sim_statistics.percentile
+
+    def test_identical_output_over_random_samples(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            values = [rng.uniform(0, 1000)
+                      for _ in range(rng.randrange(1, 40))]
+            for fraction in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+                for method in ("linear", "nearest"):
+                    assert serving_metrics.percentile(
+                        values, fraction, method=method
+                    ) == sim_statistics.percentile(
+                        values, fraction, method=method)
+
+    def test_linear_interpolates(self):
+        assert sim_statistics.percentile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_nearest_returns_observed_sample(self):
+        values = [3, 1, 4, 1, 5]
+        result = sim_statistics.percentile(values, 0.5, method="nearest")
+        assert result in values
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            sim_statistics.percentile([], 0.5)
+        with pytest.raises(ValueError):
+            sim_statistics.percentile([1], 1.5)
+        with pytest.raises(ValueError):
+            sim_statistics.percentile([1], 0.5, method="cubic")

@@ -1,0 +1,105 @@
+"""ML-inference workload family: catalog registration, functional
+determinism, and the RVV-vs-fixed-width measurement divergence."""
+
+import pytest
+
+from repro.core.parallel import execute_task
+from repro.core.scale import TEST
+from repro.core.spec import MeasurementSpec
+from repro.sim.isa.vector import VectorConfig
+from repro.workloads.catalog import all_functions, get_function
+from repro.workloads.mlinfer import (
+    ML_FUNCTION_NAMES,
+    EmbeddingLookupFunction,
+    MatmulFunction,
+    make_ml_functions,
+)
+
+
+class _Ctx:
+    """Minimal invocation-context stub for direct handler calls."""
+
+    def __init__(self):
+        self.metrics = {}
+
+    def meter(self, key, amount):
+        self.metrics[key] = self.metrics.get(key, 0) + amount
+
+
+class TestRegistration:
+    def test_all_four_resolve_by_name(self):
+        assert len(ML_FUNCTION_NAMES) == 4
+        for name in ML_FUNCTION_NAMES:
+            function = get_function(name)
+            assert function.suite == "ml"
+            assert function.runtime_name == "python"
+
+    def test_not_in_default_batches(self):
+        """The family is addressable by name only: the thesis's default
+        measurement batches must not grow new members."""
+        default_names = {fn.name for fn in all_functions(include_extras=True)}
+        assert not default_names.intersection(ML_FUNCTION_NAMES)
+
+    def test_images_build_for_all_arches(self):
+        for function in make_ml_functions():
+            for arch in ("riscv", "x86", "arm"):
+                assert function.image(arch).compressed_size_mb > 0
+
+    def test_matmul_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            MatmulFunction("bf16")
+
+
+class TestHandlers:
+    @pytest.mark.parametrize("name", ML_FUNCTION_NAMES)
+    def test_handler_deterministic(self, name):
+        function = get_function(name)
+        payload = function.default_payload(sequence=3)
+        first, second = _Ctx(), _Ctx()
+        assert function.handler(payload, first) == function.handler(
+            payload, second)
+        assert first.metrics == second.metrics
+        assert first.metrics  # every handler meters its work
+
+    def test_int8_output_stays_in_range(self):
+        function = MatmulFunction("int8")
+        ctx = _Ctx()
+        result = function.handler(function.default_payload(), ctx)
+        dim = result["dim"]
+        assert -128 * dim * dim <= result["checksum"] <= 127 * dim * dim
+
+    def test_embedding_bag_sums_table_rows(self):
+        function = EmbeddingLookupFunction()
+        ctx = _Ctx()
+        result = function.handler({"indices": [0]}, ctx)
+        assert result["checksum"] == sum(function._table[0])
+
+
+class TestMeasurements:
+    def measure(self, name, isa, vector=None, seed=0):
+        return execute_task(MeasurementSpec(
+            function=name, isa=isa, scale=TEST, seed=seed, vector=vector))
+
+    @pytest.mark.parametrize("name", ML_FUNCTION_NAMES)
+    def test_deterministic_per_seed(self, name):
+        config = VectorConfig.parse("rvv256")
+        first = self.measure(name, "riscv", vector=config)
+        again = self.measure(name, "riscv", vector=config)
+        assert first.cold.cycles == again.cold.cycles
+        assert first.warm.instructions == again.warm.instructions
+
+    def test_rvv_and_x86_streams_differ(self):
+        """Same config, two ISA lowerings: stripmined RVV vs fixed-width
+        SSE must produce different instruction streams."""
+        config = VectorConfig.parse("rvv256")
+        for name in ML_FUNCTION_NAMES:
+            riscv = self.measure(name, "riscv", vector=config)
+            x86 = self.measure(name, "x86", vector=config)
+            assert riscv.cold.instructions != x86.cold.instructions
+
+    def test_vector_beats_scalar_on_instructions(self):
+        config = VectorConfig.parse("rvv256")
+        scalar = self.measure("matmul-fp32", "riscv")
+        vectored = self.measure("matmul-fp32", "riscv", vector=config)
+        assert vectored.cold.instructions < scalar.cold.instructions
+        assert vectored.warm.instructions < scalar.warm.instructions
