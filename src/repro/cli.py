@@ -12,6 +12,7 @@
     python -m repro sizes --arch riscv
     python -m repro dse fibonacci-python --axis l2_size=131072,524288
     python -m repro dbcompare
+    python -m repro experiment run perf-cost
     python -m repro cache stats
     python -m repro bench-smoke --json
 
@@ -561,6 +562,90 @@ def cmd_cache(args) -> int:
     return 0
 
 
+#: Where ``experiment run`` writes (and ``experiment render`` reads)
+#: result artifacts unless ``--out`` says otherwise.
+DEFAULT_EXPERIMENT_DIR = "benchmarks/output/experiments"
+
+
+def _experiment_spec_from(args):
+    """Resolve the study to run: a catalog name or a ``--spec`` file."""
+    from repro.experiments import ExperimentSpec, get_experiment
+
+    if getattr(args, "spec", None):
+        from pathlib import Path
+
+        text = Path(args.spec).read_text()
+        if args.spec.endswith((".yaml", ".yml")):
+            spec = ExperimentSpec.from_yaml(text)
+        else:
+            import json
+
+            spec = ExperimentSpec.from_dict(json.loads(text))
+    elif args.name:
+        try:
+            spec = get_experiment(args.name)
+        except KeyError as error:
+            raise SystemExit(str(error.args[0]))
+    else:
+        raise SystemExit("experiment run needs a catalog name or --spec FILE "
+                         "(see `python -m repro experiment list`)")
+    if getattr(args, "seed", None) is not None:
+        spec = spec.with_base(seed=args.seed)
+    return spec
+
+
+def cmd_experiment_list(_args) -> int:
+    """Print the experiment catalog, one line per named study."""
+    from repro.experiments import iter_experiments
+
+    print("%-22s %-8s %7s  %s" % ("name", "kind", "points", "title"))
+    for spec in iter_experiments():
+        print("%-22s %-8s %7d  %s" % (spec.name, spec.kind,
+                                      spec.point_count(), spec.title))
+    return 0
+
+
+def cmd_experiment_run(args) -> int:
+    """Run a study and write its versioned result artifact."""
+    from repro.experiments import run_experiment
+
+    spec = _experiment_spec_from(args)
+    print("experiment %s (%s): %d point(s), spec fingerprint %s"
+          % (spec.name, spec.kind, spec.point_count(), spec.fingerprint()))
+    try:
+        result = run_experiment(spec, jobs=args.jobs, cache=_cache_from(args),
+                                progress=lambda line: print("  " + line))
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error))
+    print()
+    print(result.render_markdown())
+    json_path, md_path = result.write(args.out)
+    print("wrote %s and %s" % (json_path, md_path))
+    return 0
+
+
+def cmd_experiment_render(args) -> int:
+    """Re-render a previously written artifact as a markdown table."""
+    from pathlib import Path
+
+    from repro.experiments import load_result, render_markdown
+
+    target = Path(args.name)
+    if not target.is_file():
+        target = Path(args.out) / ("%s.json" % args.name)
+    if not target.is_file():
+        raise SystemExit(
+            "no result artifact for %r (looked for %s); run "
+            "`python -m repro experiment run %s` first"
+            % (args.name, target, args.name))
+    try:
+        document = load_result(target)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(render_markdown(document))
+    return 0
+
+
 def cmd_bench_smoke(args) -> int:
     """Time the pinned perf-smoke batch; optionally emit JSON."""
     from repro.core.smoke import (
@@ -842,6 +927,36 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="persistent result cache maintenance")
     cache.add_argument("action", choices=["stats", "clear"])
     cache.set_defaults(func=cmd_cache)
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="named studies with a $-cost model (see docs/EXPERIMENT_CATALOG.md)")
+    esub = experiment.add_subparsers(dest="action", metavar="action",
+                                     required=True)
+    elist = esub.add_parser("list", help="list the experiment catalog")
+    elist.set_defaults(func=cmd_experiment_list)
+    erun = esub.add_parser(
+        "run", help="run a study, write <name>.json + <name>.md")
+    erun.add_argument("name", nargs="?", default=None,
+                      help="catalog entry (see `experiment list`)")
+    erun.add_argument("--spec", default=None, metavar="FILE",
+                      help="run a spec file instead (JSON always; YAML when "
+                           "PyYAML is installed)")
+    erun.add_argument("--seed", type=int, default=None,
+                      help="override the spec's base seed")
+    erun.add_argument("--out", default=DEFAULT_EXPERIMENT_DIR,
+                      help="artifact directory (default %s)"
+                           % DEFAULT_EXPERIMENT_DIR)
+    _add_parallel_arguments(erun)
+    erun.set_defaults(func=cmd_experiment_run)
+    erender = esub.add_parser(
+        "render", help="re-render a written artifact as markdown")
+    erender.add_argument("name",
+                         help="catalog entry name or a path to a result JSON")
+    erender.add_argument("--out", default=DEFAULT_EXPERIMENT_DIR,
+                         help="artifact directory to look in (default %s)"
+                              % DEFAULT_EXPERIMENT_DIR)
+    erender.set_defaults(func=cmd_experiment_render)
 
     smoke = sub.add_parser("bench-smoke",
                            help="time the pinned perf-smoke batch")

@@ -1,0 +1,135 @@
+"""Versioned result artifacts: the contract an experiment run emits.
+
+Every run writes two files under an output directory (the CLI default
+is ``benchmarks/output/experiments/``):
+
+* ``<name>.json`` — the machine-readable artifact, tagged with
+  :data:`RESULT_SCHEMA`.  It embeds the full serialized spec, the
+  spec's fingerprint, the cost-model rates, the column order, and one
+  row per matrix point (axis values, metric columns, and a ``detail``
+  sub-object with the raw cost breakdowns).  Serialization is
+  ``sort_keys=True`` with no timestamps, so the same spec + seed
+  produce a **byte-identical** file on every run — ``diff`` is the
+  replay check, as in the CI smoke jobs.
+* ``<name>.md`` — the same rows rendered as a GitHub-flavored markdown
+  table for humans (and for committing next to the paper's figures).
+
+``repro.experiments.result/v1`` shape::
+
+    {"schema": "repro.experiments.result/v1",
+     "fingerprint": "<16-hex spec digest>",
+     "experiment": {...ExperimentSpec.as_dict()...},
+     "cost_model": {"usd_per_gb_s": ..., "usd_per_invocation": ...,
+                    "usd_per_kwh": ..., "pue": ...},
+     "columns": ["memory_mb", ..., "p99_ms", "usd_per_1m"],
+     "rows": [{...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: Version tag on every result artifact.  Bump on any incompatible
+#: shape change; readers must refuse schemas they do not know.
+RESULT_SCHEMA = "repro.experiments.result/v1"
+
+
+def _format_cell(value: Any) -> str:
+    """Deterministic human formatting for one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)
+
+
+def render_markdown(document: Dict[str, Any]) -> str:
+    """Render a result document (the ``as_dict`` form) as markdown.
+
+    Module-level (rather than a method only) so ``experiment render``
+    can re-render a loaded JSON artifact without re-running anything.
+    """
+    experiment = document["experiment"]
+    cost = document["cost_model"]
+    columns: List[str] = document["columns"]
+    lines = [
+        "# %s" % experiment["name"],
+        "",
+        experiment["title"],
+        "",
+        "- kind: `%s`" % experiment["kind"],
+        "- schema: `%s`" % document["schema"],
+        "- spec fingerprint: `%s`" % document["fingerprint"],
+        "- seed: %d" % experiment["base"]["seed"],
+        "- axes: %s" % (", ".join(
+            "`%s` (%d values)" % (name, len(values))
+            for name, values in experiment["axes"]) or "(none)"),
+        "- cost model: $%.4g/GB-s, $%.4g/invocation, $%.4g/kWh, PUE %.4g"
+        % (cost["usd_per_gb_s"], cost["usd_per_invocation"],
+           cost["usd_per_kwh"], cost["pue"]),
+        "",
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---:" for _ in columns) + " |",
+    ]
+    for row in document["rows"]:
+        lines.append("| " + " | ".join(
+            _format_cell(row.get(column)) for column in columns) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+class ExperimentResult:
+    """One executed study: the spec, its pricing, and the row matrix."""
+
+    __slots__ = ("spec", "cost_model", "columns", "rows")
+
+    def __init__(self, *, spec, cost_model, columns: List[str],
+                 rows: List[Dict[str, Any]]):
+        self.spec = spec
+        self.cost_model = cost_model
+        self.columns = list(columns)
+        self.rows = rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The artifact document (see module docstring for the shape)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "fingerprint": self.spec.fingerprint(),
+            "experiment": self.spec.as_dict(),
+            "cost_model": self.cost_model.as_dict(),
+            "columns": list(self.columns),
+            "rows": self.rows,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text — byte-identical for identical studies."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    def render_markdown(self) -> str:
+        """The human-readable table (see :func:`render_markdown`)."""
+        return render_markdown(self.as_dict())
+
+    def write(self, directory) -> Tuple[Path, Path]:
+        """Write ``<name>.json`` + ``<name>.md`` under ``directory``."""
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        json_path = target / ("%s.json" % self.spec.name)
+        md_path = target / ("%s.md" % self.spec.name)
+        json_path.write_text(self.to_json())
+        md_path.write_text(self.render_markdown())
+        return json_path, md_path
+
+
+def load_result(path) -> Dict[str, Any]:
+    """Load and schema-check a result artifact written by :meth:`~ExperimentResult.write`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    schema = document.get("schema")
+    if schema != RESULT_SCHEMA:
+        raise ValueError("%s: unsupported result schema %r (expected %r)"
+                         % (path, schema, RESULT_SCHEMA))
+    return document

@@ -1,0 +1,127 @@
+"""The named experiment catalog: reusable, documented studies.
+
+Each entry is a plain :meth:`~repro.experiments.spec.ExperimentSpec.from_dict`
+document (no YAML dependency), so the catalog itself demonstrates the
+wire form a ``--spec`` file uses.  Every entry here must have a matching
+section in ``docs/EXPERIMENT_CATALOG.md`` — a tier-1 test enforces it —
+and its committed result artifact lives under
+``benchmarks/output/experiments/``.
+
+Run one with ``python -m repro experiment run <name>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.spec import ExperimentSpec
+
+#: The catalog documents, in presentation order (dict insertion order).
+CATALOG: Dict[str, dict] = {
+    "perf-cost": {
+        "name": "perf-cost",
+        "title": "Perf-cost memory sweep: $ vs p99 across instance sizes "
+                 "and ISAs (SeBS's perf-cost experiment).",
+        "kind": "measure",
+        "base": {
+            "function": "hotel-profile-go",
+            "db": "cassandra",
+            "time_scale": 2048,
+            "space_scale": 32,
+        },
+        "axes": [
+            ["memory_mb", [128, 256, 512, 1024, 2048]],
+            ["isa", ["riscv", "x86"]],
+        ],
+    },
+    "db-shootout": {
+        "name": "db-shootout",
+        "title": "MongoDB vs Cassandra vs MariaDB backing the hotel "
+                 "application under an identical scenario.",
+        "kind": "measure",
+        "base": {
+            "function": "hotel-profile-go",
+            "isa": "riscv",
+            "time_scale": 2048,
+            "space_scale": 32,
+        },
+        "axes": [
+            ["db", ["cassandra", "mongodb", "mariadb"]],
+            ["function", ["hotel-geo-go", "hotel-profile-go"]],
+        ],
+    },
+    "cold-start-eviction": {
+        "name": "cold-start-eviction",
+        "title": "Cold-start eviction study: keep-alive horizon vs "
+                 "cold-start rate and provisioned-uptime cost under "
+                 "diurnal traffic.",
+        "kind": "serve",
+        "base": {
+            "function": "fibonacci-python",
+            "profile": "diurnal",
+            "rps": 40.0,
+            "arrivals": 300,
+            "target_concurrency": 2,
+        },
+        "axes": [
+            ["scale_to_zero_after", [60, 240, 960]],
+        ],
+    },
+    "concurrency-sweep": {
+        "name": "concurrency-sweep",
+        "title": "Concurrency sweep: per-instance target concurrency vs "
+                 "tail latency and cost under bursty traffic.",
+        "kind": "serve",
+        "base": {
+            "function": "fibonacci-go",
+            "profile": "burst",
+            "rps": 150.0,
+            "arrivals": 200,
+        },
+        "axes": [
+            ["target_concurrency", [1, 2, 4, 8]],
+        ],
+    },
+    "placement-chaos": {
+        "name": "placement-chaos",
+        "title": "Cluster placement under node chaos: binpack vs spread "
+                 "on a 3-node cluster with failing nodes.",
+        "kind": "serve",
+        "base": {
+            "function": "fibonacci-python",
+            "profile": "poisson",
+            "rps": 150.0,
+            "arrivals": 250,
+            "seed": 7,
+            "nodes": 3,
+            "node_fail": 0.2,
+            "target_concurrency": 2,
+            "max_instances": 9,
+        },
+        "axes": [
+            ["placement", ["binpack", "spread"]],
+        ],
+    },
+}
+
+
+def experiment_names() -> List[str]:
+    """Catalog entry names, in presentation order."""
+    return list(CATALOG)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Build the named catalog entry (KeyError on unknown names)."""
+    try:
+        document = CATALOG[name]
+    except KeyError:
+        raise KeyError("no catalog experiment %r (known: %s)"
+                       % (name, ", ".join(experiment_names())))
+    spec = ExperimentSpec.from_dict(document)
+    assert spec.name == name, "catalog key/name mismatch for %r" % name
+    return spec
+
+
+def iter_experiments() -> List[ExperimentSpec]:
+    """Every catalog entry, built, in presentation order."""
+    return [get_experiment(name) for name in experiment_names()]

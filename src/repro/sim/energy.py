@@ -62,6 +62,17 @@ class EnergyEstimate:
         ISA-wars comparisons report."""
         return self.total_nj * self.cycles
 
+    @property
+    def joules(self) -> float:
+        """Total energy in joules — the unit billing models charge in
+        (see :mod:`repro.experiments.cost`)."""
+        return self.total_nj * 1e-9
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration at the modeled 1 GHz operating point."""
+        return self.cycles / CYCLES_PER_SECOND
+
     def render(self) -> str:
         lines = ["energy estimate: %.1f nJ total (%.1f dynamic + %.1f static)"
                  % (self.total_nj, self.dynamic_total_nj, self.static_nj)]

@@ -1,0 +1,1 @@
+"""Tier-1 tests for the declarative experiment layer."""

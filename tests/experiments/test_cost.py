@@ -1,0 +1,103 @@
+"""Cost model: numeric regression pins and billing-shape properties."""
+
+import pytest
+
+from repro.core.harness import RequestStats
+from repro.experiments.cost import (
+    COST_RATE_FIELDS,
+    CostModel,
+    cpu_share,
+)
+
+#: A hand-picked request profile with easy-to-audit event counts.
+STATS = RequestStats.from_dict({
+    "cycles": 1_000_000,
+    "instructions": 500_000,
+    "l1i_accesses": 300_000,
+    "l1d_accesses": 200_000,
+    "l1i_misses": 10_000,
+    "l1d_misses": 5_000,
+    "l2_accesses": 15_000,
+    "l2_misses": 2_000,
+    "branch_mispredicts": 1_000,
+})
+
+
+class TestCpuShare:
+    def test_lambda_knee(self):
+        assert cpu_share(1769) == 1.0
+        assert cpu_share(4096) == 1.0  # clamped at one full vCPU
+        assert cpu_share(512) == pytest.approx(512 / 1769.0)
+        with pytest.raises(ValueError):
+            cpu_share(0)
+
+
+class TestInvocationCostPin:
+    """Regression pin: these exact dollars must not drift silently."""
+
+    def test_pinned_breakdown(self):
+        breakdown = CostModel().invocation_cost(STATS, memory_mb=512,
+                                                time_scale=1)
+        # duration: 1e6 cycles @ 1 GHz on a 512/1769 CPU share.
+        assert breakdown.duration_s == pytest.approx(3.455078125e-3,
+                                                     rel=1e-12)
+        assert breakdown.gb_s == pytest.approx(1.7275390625e-3, rel=1e-12)
+        assert breakdown.compute_usd == pytest.approx(2.8793893359375e-8,
+                                                      rel=1e-9)
+        assert breakdown.request_usd == pytest.approx(2.0e-7, rel=1e-12)
+        # energy: 105_050 nJ dynamic + 350_000 nJ static = 455_050 nJ
+        # -> J/3.6e6 * 0.10 $/kWh * 1.35 PUE.
+        assert breakdown.energy_usd == pytest.approx(1.7064375e-11, rel=1e-9)
+        assert breakdown.total_usd == pytest.approx(
+            breakdown.compute_usd + breakdown.request_usd
+            + breakdown.energy_usd, rel=1e-12)
+
+    def test_time_scale_projects_native(self):
+        model = CostModel()
+        scaled = model.invocation_cost(STATS, memory_mb=1769, time_scale=512)
+        unscaled = model.invocation_cost(STATS, memory_mb=1769, time_scale=1)
+        assert scaled.duration_s == pytest.approx(512 * unscaled.duration_s)
+        assert scaled.energy_usd == pytest.approx(512 * unscaled.energy_usd)
+
+    def test_compute_cost_flat_below_knee_for_fixed_work(self):
+        # memory × (1/memory-share duration) cancels below the vCPU
+        # knee: for identical cycles, GB-s (and compute $) are constant.
+        model = CostModel()
+        low = model.invocation_cost(STATS, memory_mb=128, time_scale=1)
+        high = model.invocation_cost(STATS, memory_mb=1024, time_scale=1)
+        assert low.gb_s == pytest.approx(high.gb_s, rel=1e-12)
+        assert low.duration_s > high.duration_s
+
+
+class TestServingCostPin:
+    def test_pinned_uptime_billing(self):
+        share = CostModel().serving_cost(instance_ticks=10_000, admitted=100,
+                                         memory_mb=1024)
+        assert share.duration_s == pytest.approx(0.1, rel=1e-12)
+        assert share.gb_s == pytest.approx(0.1, rel=1e-12)
+        assert share.compute_usd == pytest.approx(1.6667e-6, rel=1e-9)
+        assert share.request_usd == pytest.approx(2.0e-7, rel=1e-12)
+        assert share.energy_usd == 0.0
+        assert share.total_usd * 1e6 == pytest.approx(1.8667, rel=1e-6)
+
+    def test_needs_admitted_requests(self):
+        with pytest.raises(ValueError, match="admitted"):
+            CostModel().serving_cost(instance_ticks=100, admitted=0,
+                                     memory_mb=512)
+
+
+class TestModelConfig:
+    def test_overrides_and_fingerprint(self):
+        model = CostModel.from_overrides({"usd_per_kwh": 0.25})
+        assert model.usd_per_kwh == 0.25
+        assert model.usd_per_gb_s == CostModel().usd_per_gb_s
+        assert model.fingerprint() != CostModel().fingerprint()
+        assert set(model.as_dict()) == set(COST_RATE_FIELDS)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="unknown cost rates"):
+            CostModel.from_overrides({"usd_per_parsec": 1.0})
+        with pytest.raises(ValueError, match="negative"):
+            CostModel(usd_per_gb_s=-1.0)
+        with pytest.raises(ValueError, match="pue"):
+            CostModel(pue=0.5)

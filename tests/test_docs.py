@@ -1,9 +1,10 @@
 """Documentation health: links resolve, docstring policy holds.
 
 The link test runs the same pure-python checker CI uses
-(``tools/check_links.py``); the docstring test mirrors the ruff
-``D100``/``D101``/``D104`` selection CI enforces, so a violation fails
-locally without ruff installed.
+(``tools/check_links.py``), cross-file anchors included; the docstring
+tests mirror the ruff selections CI enforces — ``D100``/``D101``/
+``D104`` tree-wide plus ``D102``/``D103`` over ``repro.experiments`` —
+so a violation fails locally without ruff installed.
 """
 
 import ast
@@ -46,6 +47,25 @@ class TestMarkdownLinks:
         broken = checker.check_file(str(doc))
         assert [target for target, _ in broken] == ["missing.md", "#nope"]
 
+    def test_checker_validates_cross_file_anchors(self, tmp_path):
+        checker = _load_checker()
+        other = tmp_path / "other.md"
+        other.write_text("# Real Section\n## Dup\ntext\n## Dup\n",
+                         encoding="utf-8")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Doc\n"
+            "[ok](other.md#real-section) [dead](other.md#not-there)\n"
+            "[dup1](other.md#dup) [dup2](other.md#dup-1)\n"
+            "[dup3](other.md#dup-2)\n",
+            encoding="utf-8",
+        )
+        broken = checker.check_file(str(doc))
+        assert [target for target, _ in broken] == [
+            "other.md#not-there", "other.md#dup-2"]
+        reasons = [reason for _, reason in broken]
+        assert all("other.md" in reason for reason in reasons)
+
 
 def _python_modules():
     for dirpath, _, names in os.walk(SRC_ROOT):
@@ -77,3 +97,38 @@ class TestDocstringPolicy:
         modules = list(_python_modules())
         assert len(modules) > 80  # the whole package, not a subset
         assert any(p.endswith("__init__.py") for p in modules)
+
+    def test_experiments_package_functions_documented(self):
+        """Mirror of CI's D102/D103 gate over ``repro.experiments``.
+
+        The experiments package ships fully docstringed: every public
+        function and public method (of a public class) needs one, not
+        just modules and classes.
+        """
+        package = os.path.join(SRC_ROOT, "experiments")
+        violations = []
+        for path in sorted(os.listdir(package)):
+            if not path.endswith(".py"):
+                continue
+            full = os.path.join(package, path)
+            rel = os.path.relpath(full, REPO_ROOT)
+            with open(full, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=rel)
+            for node in tree.body:
+                if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and not node.name.startswith("_")
+                        and ast.get_docstring(node) is None):  # D103
+                    violations.append("%s:%d: function %s missing docstring"
+                                      % (rel, node.lineno, node.name))
+                if isinstance(node, ast.ClassDef) and \
+                        not node.name.startswith("_"):
+                    for member in node.body:
+                        if (isinstance(member, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef))
+                                and not member.name.startswith("_")
+                                and ast.get_docstring(member) is None):
+                            violations.append(  # D102
+                                "%s:%d: method %s.%s missing docstring"
+                                % (rel, member.lineno, node.name,
+                                   member.name))
+        assert not violations, "\n".join(violations)

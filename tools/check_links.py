@@ -4,9 +4,12 @@
 Scans markdown files for inline links/images (``[text](target)``) and
 reference definitions (``[label]: target``), and reports every relative
 target that does not exist on disk.  External schemes (http/https/
-mailto) are skipped — CI must not depend on the network — and pure
-fragment links (``#section``) are checked against the headings of the
-containing file.
+mailto) are skipped — CI must not depend on the network.  Anchors are
+validated too: pure fragment links (``#section``) are checked against
+the headings of the containing file, and cross-file fragments
+(``other.md#section``) against the headings of the target file, with
+GitHub's duplicate-heading numbering (``#name``, ``#name-1``, ...)
+honoured.
 
 Usage::
 
@@ -46,12 +49,38 @@ def extract_targets(text: str) -> List[str]:
     return targets
 
 
-def check_file(path: str) -> List[Tuple[str, str]]:
+def document_anchors(text: str) -> set:
+    """Every anchor a document's headings define, GitHub style.
+
+    Repeated headings get numbered suffixes: the first ``## Name`` is
+    ``#name``, the second ``#name-1``, and so on.
+    """
+    anchors = set()
+    counts = {}
+    for heading in _HEADING_RE.findall(text):
+        slug = _anchor(heading)
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else "%s-%d" % (slug, seen))
+    return anchors
+
+
+def _anchors_of(path: str, cache: dict) -> set:
+    """Anchor set of a (possibly other) markdown file, memoized."""
+    if path not in cache:
+        with open(path, "r", encoding="utf-8") as handle:
+            cache[path] = document_anchors(handle.read())
+    return cache[path]
+
+
+def check_file(path: str, anchor_cache: dict = None) -> List[Tuple[str, str]]:
     """Return (target, reason) for every broken link in one file."""
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    anchors = {_anchor(h) for h in _HEADING_RE.findall(text)}
+    anchors = document_anchors(text)
     base = os.path.dirname(os.path.abspath(path))
+    if anchor_cache is None:
+        anchor_cache = {}
     broken = []
     for target in extract_targets(text):
         if target.startswith(_SKIP_SCHEMES) or target.startswith("<"):
@@ -60,11 +89,16 @@ def check_file(path: str) -> List[Tuple[str, str]]:
             if target[1:] not in anchors:
                 broken.append((target, "no such heading"))
             continue
-        relpath = target.split("#", 1)[0]
+        relpath, _, fragment = target.partition("#")
         if not relpath:
             continue
-        if not os.path.exists(os.path.join(base, relpath)):
+        resolved = os.path.join(base, relpath)
+        if not os.path.exists(resolved):
             broken.append((target, "no such file"))
+            continue
+        if fragment and relpath.endswith(".md"):
+            if fragment not in _anchors_of(resolved, anchor_cache):
+                broken.append((target, "no such heading in %s" % relpath))
     return broken
 
 
@@ -108,8 +142,9 @@ def main(argv: List[str] = None) -> int:
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     files = expand(args.paths) if args.paths else default_files(root)
     failures = 0
+    anchor_cache = {}
     for path in files:
-        for target, reason in check_file(path):
+        for target, reason in check_file(path, anchor_cache):
             print("%s: broken link %r (%s)" % (path, target, reason))
             failures += 1
     if failures:
